@@ -1,0 +1,40 @@
+"""Shared state for the figure-regeneration benchmarks.
+
+One session-scoped :class:`ExperimentRunner` memoizes every
+(benchmark x config) simulation, so the full `pytest benchmarks/` run
+simulates each cell exactly once no matter how many figures use it.
+
+Scale defaults to ``small`` (the calibrated reproduction scale); set
+``REPRO_BENCH_SCALE=tiny`` for a quick smoke pass or ``paper`` for the
+full-size runs.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+#: Minimum fraction of a figure's shape checks that must hold for the
+#: regeneration to count as reproducing the paper's claim set.
+MIN_PASS_FRACTION = 0.6
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(scale=SCALE)
+
+
+def report_and_assert(result, label):
+    """Print the regenerated table + checks; assert most checks hold."""
+    checks = result.shape_checks()
+    print(f"\n=== {label} (scale={SCALE}) ===")
+    print(result.format_table())
+    for check in checks:
+        print(f"  {check}")
+    passed = sum(1 for c in checks if c.passed)
+    assert passed >= max(1, int(len(checks) * MIN_PASS_FRACTION)), (
+        f"{label}: only {passed}/{len(checks)} shape checks hold"
+    )
+    return checks

@@ -1,0 +1,34 @@
+"""Ablation benches beyond the paper's headline figures (DESIGN.md §5)."""
+
+from repro.experiments import ablations
+
+from conftest import report_and_assert
+
+
+def test_sharing_policy_ablation(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: ablations.run_sharing_ablation(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Ablation: sharing policy")
+
+
+def test_tlb_geometry_sweep(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: ablations.run_geometry_sweep(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Ablation: TLB geometry")
+
+
+def test_warp_granularity_reuse(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: ablations.run_warp_reuse(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Ablation: warp-granularity reuse")
+
+
+def test_warp_scheduler_ablation(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: ablations.run_warp_scheduler_ablation(runner),
+        rounds=1, iterations=1,
+    )
+    report_and_assert(result, "Ablation: warp scheduler")

@@ -1,0 +1,12 @@
+"""Regenerate paper Fig 10 (see repro.experiments.fig10)."""
+
+from repro.experiments import fig10
+
+from conftest import report_and_assert
+
+
+def test_fig10(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig10.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 10")

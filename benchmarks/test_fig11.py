@@ -1,0 +1,12 @@
+"""Regenerate paper Fig 11 (see repro.experiments.fig11)."""
+
+from repro.experiments import fig11
+
+from conftest import report_and_assert
+
+
+def test_fig11(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig11.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 11")

@@ -1,0 +1,12 @@
+"""Regenerate paper Fig 12 (see repro.experiments.fig12)."""
+
+from repro.experiments import fig12
+
+from conftest import report_and_assert
+
+
+def test_fig12(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig12.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 12")

@@ -1,0 +1,12 @@
+"""Regenerate paper Fig 2 (see repro.experiments.fig2)."""
+
+from repro.experiments import fig2
+
+from conftest import report_and_assert
+
+
+def test_fig2(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig2.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 2")

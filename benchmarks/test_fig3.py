@@ -1,0 +1,12 @@
+"""Regenerate paper Fig 3 (see repro.experiments.fig3)."""
+
+from repro.experiments import fig3
+
+from conftest import report_and_assert
+
+
+def test_fig3(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig3.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 3")

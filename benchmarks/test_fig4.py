@@ -1,0 +1,12 @@
+"""Regenerate paper Fig 4 (see repro.experiments.fig4)."""
+
+from repro.experiments import fig4
+
+from conftest import report_and_assert
+
+
+def test_fig4(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig4.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 4")

@@ -1,0 +1,12 @@
+"""Regenerate paper Fig 5 (see repro.experiments.fig5)."""
+
+from repro.experiments import fig5
+
+from conftest import report_and_assert
+
+
+def test_fig5(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig5.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 5")

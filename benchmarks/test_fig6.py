@@ -1,0 +1,13 @@
+"""Regenerate paper Fig 6 (see repro.experiments.fig6)."""
+
+from repro.experiments import fig5, fig6
+
+from conftest import report_and_assert
+
+
+def test_fig6(benchmark, runner):
+    f5 = fig5.run(runner)
+    result = benchmark.pedantic(
+        lambda: fig6.run(runner, f5), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Fig 6")

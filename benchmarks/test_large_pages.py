@@ -1,0 +1,12 @@
+"""Regenerate the paper's §V large-page (2 MB) study."""
+
+from repro.experiments import large_pages
+
+from conftest import report_and_assert
+
+
+def test_large_pages(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: large_pages.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Large pages")

@@ -1,0 +1,12 @@
+"""Extension study: GPU memory oversubscription (DESIGN.md §5)."""
+
+from repro.experiments import oversubscription
+
+from conftest import report_and_assert
+
+
+def test_oversubscription(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: oversubscription.run(runner), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Ext: oversubscription")

@@ -1,0 +1,22 @@
+"""Regenerate paper Tables II and III."""
+
+from repro.experiments.tables import format_table3, run_table2, table3_checks
+
+from conftest import SCALE, report_and_assert
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(SCALE), rounds=1, iterations=1
+    )
+    report_and_assert(result, "Table II")
+
+
+def test_table3(benchmark):
+    table = benchmark.pedantic(format_table3, rounds=1, iterations=1)
+    print("\n=== Table III ===")
+    print(table)
+    checks = table3_checks()
+    for check in checks:
+        print(f"  {check}")
+    assert all(c.passed for c in checks)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Bring your own kernel: evaluate TLB policies on a custom access trace.
+
+This example shows the library as a *tool* rather than a reproduction:
+it builds a synthetic "hash join probe" kernel with the
+:class:`~repro.workloads.TraceBuilder` API — a small per-TB hash-bucket
+hot set plus a streaming probe input — and sweeps the paper's policy
+space over it.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro import BASELINE_CONFIG, L1TLBMode, TBSchedulerKind, build_gpu
+from repro.workloads import AddressSpace, TraceBuilder
+from repro.workloads.base import make_kernel
+
+THREADS_PER_TB = 128
+WARPS = THREADS_PER_TB // 32
+
+
+def build_hash_join_kernel(num_tbs=64, probes_per_warp=160, buckets_pages=3,
+                           seed=7):
+    """Each TB probes a hash table: hot bucket-directory pages (TB-local
+    partition of the table) + a streaming probe-key array."""
+    rng = np.random.default_rng(seed)
+    space = AddressSpace()
+    table = space.alloc("hash_table", 64 << 20)
+    keys = space.alloc("probe_keys", 256 << 20)
+    out = space.alloc("matches", 64 << 20)
+    tbs = []
+    for t in range(num_tbs):
+        builder = TraceBuilder(WARPS, compute_gap=6.0)
+        # This TB's partition of the table: a few hot directory pages.
+        directory = table + t * buckets_pages * 4096
+        for w in range(WARPS):
+            key_cursor = keys + (t * WARPS + w) * probes_per_warp * 512
+            for p in range(probes_per_warp):
+                # Stream a coalesced batch of probe keys (cold).
+                builder.access(w, (key_cursor + p * 512,))
+                # Probe the (hot) directory page for this bucket.
+                bucket = int(rng.integers(buckets_pages))
+                builder.access(w, (directory + bucket * 4096,))
+            builder.access(w, (out + (t * WARPS + w) * 4096,), write=True)
+        tbs.append(builder.build(t))
+    return make_kernel("hashjoin", tbs, threads_per_tb=THREADS_PER_TB)
+
+
+POLICIES = {
+    "baseline": BASELINE_CONFIG,
+    "sched": BASELINE_CONFIG.replace(tb_scheduler=TBSchedulerKind.TLB_AWARE),
+    "partition": BASELINE_CONFIG.replace(
+        tb_scheduler=TBSchedulerKind.TLB_AWARE,
+        l1_tlb_mode=L1TLBMode.PARTITIONED,
+    ),
+    "part+share": BASELINE_CONFIG.replace(
+        tb_scheduler=TBSchedulerKind.TLB_AWARE,
+        l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING,
+    ),
+}
+
+
+def main() -> int:
+    kernel = build_hash_join_kernel()
+    print(
+        f"custom kernel: {kernel.num_tbs} TBs, "
+        f"{kernel.total_transactions()} transactions\n"
+    )
+    print(f"{'policy':12s} {'L1 TLB hit':>11s} {'cycles':>12s} {'vs base':>8s}")
+    base_cycles = None
+    for name, config in POLICIES.items():
+        result = build_gpu(config).run(kernel)
+        if base_cycles is None:
+            base_cycles = result.cycles
+        print(
+            f"{name:12s} {result.avg_l1_tlb_hit_rate:11.3f} "
+            f"{result.cycles:12.0f} {result.cycles / base_cycles:8.3f}"
+        )
+    print(
+        "\nThe TB-local directory pages behave like the paper's intra-TB "
+        "reuse: partitioning pins them; the probe stream behaves like "
+        "inter-TB interference."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Memory coalescing unit.
+
+Per Fig 1 step 1, per-thread addresses of one warp memory instruction are
+coalesced into line-sized transactions before touching the TLB/cache.
+Workload generators run their per-thread address streams through
+:func:`coalesce` at trace-build time, so the simulator only ever sees
+post-coalescing transactions — exactly what the real unit emits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def coalesce(thread_addresses: Iterable[int], line_bytes: int = 128) -> List[int]:
+    """Coalesce per-thread byte addresses into unique line transactions.
+
+    Returns line-aligned byte addresses, ordered by first appearance
+    (the order the coalescer emits them).  A fully coalesced warp access
+    (all 32 threads in one 128 B line) yields a single transaction; a
+    fully divergent one yields up to 32.
+    """
+    if line_bytes <= 0:
+        raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+    seen = {}
+    for addr in thread_addresses:
+        line_base = (addr // line_bytes) * line_bytes
+        if line_base not in seen:
+            seen[line_base] = None
+    return list(seen.keys())
+
+
+def coalesce_strided(
+    base: int, stride: int, num_threads: int, line_bytes: int = 128
+) -> List[int]:
+    """Coalesce the common strided pattern ``base + tid*stride`` directly."""
+    return coalesce(
+        (base + tid * stride for tid in range(num_threads)), line_bytes
+    )
+
+
+def transactions_per_instruction(
+    thread_addresses: Sequence[int], line_bytes: int = 128
+) -> int:
+    """Degree of divergence: number of transactions one instruction needs."""
+    return len(coalesce(thread_addresses, line_bytes))

@@ -1,0 +1,155 @@
+"""GPU configuration (paper Table III) and experiment knobs.
+
+Every simulated run is fully described by a :class:`GPUConfig`.  The
+defaults reproduce the paper's baseline; experiment configurations in
+:mod:`repro.experiments.configs` are small ``replace()``-style variations
+(larger L1 TLB, TB-id partitioning, set sharing, compression, 2 MB pages).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+
+from ..translation.address import KB, PAGE_4K
+from ..translation.uvm import AllocationPolicy
+
+
+class TBSchedulerKind(enum.Enum):
+    """Which TB scheduler the GPU uses (paper §IV-A)."""
+
+    ROUND_ROBIN = "rr"
+    TLB_AWARE = "tlb_aware"
+
+
+class WarpSchedulerKind(enum.Enum):
+    """Warp issue arbitration (GTO is the paper's baseline; the
+    translation-aware variant is the conclusion's future-work
+    direction, built here as an extension)."""
+
+    GTO = "gto"
+    TRANSLATION_AWARE = "translation_aware"
+
+
+class L1TLBMode(enum.Enum):
+    """L1 TLB organization (paper §IV-B)."""
+
+    #: VPN-indexed set-associative TLB (baseline).
+    BASELINE = "baseline"
+    #: TB-id-indexed partitioning, no set sharing ("Partition" bars).
+    PARTITIONED = "partitioned"
+    #: TB-id partitioning + dynamic adjacent-set sharing ("Partition+Sharing").
+    PARTITIONED_SHARING = "partitioned_sharing"
+
+
+class SharingPolicyKind(enum.Enum):
+    """Set-sharing variants (1-bit flag is the paper's design; the others
+    are the discussion/future-work variants built for ablations)."""
+
+    ONE_BIT = "one_bit"
+    COUNTER = "counter"
+    ALL_TO_ALL = "all_to_all"
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Full machine + policy configuration.  Defaults = paper Table III."""
+
+    # --- GPU organization -------------------------------------------- #
+    num_sms: int = 16
+    clock_mhz: int = 1400
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    max_warps_per_sm: int = 64
+    max_tbs_per_sm: int = 16
+    shared_mem_per_sm: int = 48 * KB
+    register_file_per_sm: int = 64 * KB
+
+    # --- Data caches -------------------------------------------------- #
+    line_bytes: int = 128
+    l1_cache_bytes: int = 16 * KB
+    l1_cache_assoc: int = 4
+    l1_cache_latency: float = 1.0
+    l2_slice_bytes: int = 128 * KB
+    l2_cache_assoc: int = 8
+    num_partitions: int = 12          # 12 x 128 KB = 1536 KB total
+    l2_cache_latency: float = 30.0
+
+    # --- TLBs and translation ----------------------------------------- #
+    l1_tlb_entries: int = 64
+    l1_tlb_assoc: int = 4
+    l1_tlb_latency: float = 1.0
+    l2_tlb_entries: int = 512
+    l2_tlb_assoc: int = 16
+    l2_tlb_latency: float = 10.0
+    #: initiation interval of the shared L2 TLB's lookup port: L1 misses
+    #: from all SMs contend for it, so a config that misses the L1 more
+    #: pays queueing here as well as lookup latency.
+    l2_tlb_port_interval: float = 2.0
+    num_walkers: int = 8
+    walk_latency: float = 500.0
+    page_size: int = PAGE_4K
+    #: Extra latency of a first-touch (demand-paging) walk.  The default
+    #: models the paper's steady state — data already migrated to the GPU,
+    #: translation cost dominated by TLB misses and walks; set >0 to study
+    #: cold-start behaviour.
+    far_fault_latency: float = 0.0
+    #: GPU device-memory capacity for the oversubscription study (None =
+    #: unlimited, the steady-state default).  When the footprint exceeds
+    #: it, LRU pages migrate back to the host and re-touches far-fault,
+    #: with TLB shootdown of the victim's translations.
+    gpu_memory_bytes: "int | None" = None
+    allocation_policy: AllocationPolicy = AllocationPolicy.CONTIGUOUS
+
+    # --- Interconnect / DRAM ------------------------------------------ #
+    noc_latency: float = 20.0
+    noc_injection_interval: float = 1.0
+    dram_latency: float = 220.0
+    dram_interval: float = 4.0
+
+    # --- Issue/pipeline ------------------------------------------------ #
+    issue_interval: float = 1.0       # cycles between warp instruction issues
+    #: TB scheduler dispatch cadence: freed slots are (re)filled on this
+    #: period, so completions that cluster give the scheduler a choice of
+    #: SMs — the window the TLB-aware policy exploits.
+    tb_dispatch_interval: float = 100.0
+
+    # --- Policies (the paper's proposal) ------------------------------- #
+    tb_scheduler: TBSchedulerKind = TBSchedulerKind.ROUND_ROBIN
+    warp_scheduler: WarpSchedulerKind = WarpSchedulerKind.GTO
+    l1_tlb_mode: L1TLBMode = L1TLBMode.BASELINE
+    sharing_policy: SharingPolicyKind = SharingPolicyKind.ONE_BIT
+    sharing_counter_threshold: int = 4   # only for SharingPolicyKind.COUNTER
+
+    # --- TLB compression (Fig 12 comparator) --------------------------- #
+    l1_tlb_compression: bool = False
+    #: pages per compressed range (the comparator relies on contiguous
+    #: stride-1 mappings; GPU heaps rarely sustain long runs)
+    compression_max_ratio: int = 2
+    #: (de)compression sits on the L1 lookup critical path (paper §V)
+    compression_latency: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.max_tbs_per_sm <= 0:
+            raise ValueError("max_tbs_per_sm must be positive")
+        if self.l1_tlb_entries % self.l1_tlb_assoc != 0:
+            raise ValueError("L1 TLB entries must divide by associativity")
+        if self.l2_tlb_entries % self.l2_tlb_assoc != 0:
+            raise ValueError("L2 TLB entries must divide by associativity")
+        if self.max_threads_per_sm % self.warp_size != 0:
+            raise ValueError("max_threads_per_sm must be a multiple of warp_size")
+
+    @property
+    def l1_tlb_sets(self) -> int:
+        return self.l1_tlb_entries // self.l1_tlb_assoc
+
+    def replace(self, **changes) -> "GPUConfig":
+        """Functional update (alias for :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Paper Table III baseline.
+BASELINE_CONFIG = GPUConfig()

@@ -1,0 +1,186 @@
+"""Top-level GPU: SMs + shared translation/memory + TB dispatch loop.
+
+The GPU is assembled from parts by :func:`repro.system.build_gpu`; this
+module keeps the machine policy-agnostic.  The TB scheduler is any object
+with the small interface of
+:class:`repro.core.tb_scheduler.TBScheduler` — ``select_sm(sms)`` returns
+the SM the next TB should go to (or ``None`` to stall until a slot
+frees).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..engine.simulator import Simulator
+from ..translation.address import PageGeometry
+from .config import GPUConfig
+from .kernel import Kernel
+from .sm import StreamingMultiprocessor
+from .thread_block import TBRuntime
+
+
+@dataclass
+class RunResult:
+    """Summary of one kernel run."""
+
+    kernel_name: str
+    cycles: float
+    per_sm_l1_tlb_hit_rate: List[float]
+    l1_tlb_hits: int
+    l1_tlb_accesses: int
+    l2_tlb_hits: int
+    l2_tlb_accesses: int
+    walks: int
+    far_faults: int
+    l1_cache_hit_rate: float
+    tbs_completed: int
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    tlb_traces: Optional[List[List[tuple]]] = None
+
+    @property
+    def avg_l1_tlb_hit_rate(self) -> float:
+        """Average of per-SM hit rates (how the paper reports Fig 2/10)."""
+        rates = [r for r in self.per_sm_l1_tlb_hit_rate if r is not None]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    @property
+    def overall_l1_tlb_hit_rate(self) -> float:
+        """Access-weighted hit rate across all SMs."""
+        if self.l1_tlb_accesses == 0:
+            return 0.0
+        return self.l1_tlb_hits / self.l1_tlb_accesses
+
+
+class GPU:
+    """The assembled machine: SMs, shared L2 TLB/walkers, memory system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: GPUConfig,
+        geometry: PageGeometry,
+        sms: List[StreamingMultiprocessor],
+        scheduler,
+        l2_tlb,
+        walkers,
+        partitions,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.geometry = geometry
+        self.sms = sms
+        self.scheduler = scheduler
+        self.l2_tlb = l2_tlb
+        self.walkers = walkers
+        self.partitions = partitions
+        self._pending: Deque = deque()
+        self._kernel: Optional[Kernel] = None
+        self._age = 0
+        self._tbs_remaining = 0
+        self._dispatch_scheduled = False
+        for sm in sms:
+            sm.on_tb_finished = self._tb_finished
+
+    # ------------------------------------------------------------------ #
+    # Kernel execution
+    # ------------------------------------------------------------------ #
+    def launch(self, kernel: Kernel, occupancy_override: Optional[int] = None) -> None:
+        """Queue every TB of ``kernel`` and fill the SMs.
+
+        ``occupancy_override`` caps concurrent TBs per SM below the
+        kernel's natural occupancy — used by the interference-removal
+        study (Fig 6 validation) with a cap of 1.
+        """
+        if self._kernel is not None:
+            raise RuntimeError("a kernel is already running")
+        self._kernel = kernel
+        occupancy = kernel.occupancy(self.config)
+        if occupancy_override is not None:
+            occupancy = min(occupancy, occupancy_override)
+        for sm in self.sms:
+            sm.prepare_kernel(occupancy)
+        self._pending = deque(kernel.tbs)
+        self._tbs_remaining = len(kernel.tbs)
+        self._fill_sms(self.sim.now)
+
+    def _fill_sms(self, now: float) -> None:
+        while self._pending:
+            sm = self.scheduler.select_sm(self.sms)
+            if sm is None:
+                break
+            trace = self._pending.popleft()
+            sm.dispatch_tb(trace, now, self._age)
+            self._age += max(len(trace.warps), 1)
+
+    def _tb_finished(self, sm: StreamingMultiprocessor, tb: TBRuntime) -> None:
+        self._tbs_remaining -= 1
+        self.scheduler.on_tb_finished(sm, tb)
+        if self._pending and not self._dispatch_scheduled:
+            # Refill on the dispatcher's cadence rather than instantly:
+            # completions that cluster inside one period free several
+            # slots at once, giving the scheduler an actual choice of SM.
+            self._dispatch_scheduled = True
+            self.sim.schedule_after(
+                self.config.tb_dispatch_interval, self._dispatch_tick
+            )
+
+    def _dispatch_tick(self) -> None:
+        self._dispatch_scheduled = False
+        if self._pending:
+            self._fill_sms(self.sim.now)
+
+    def run(self, kernel: Kernel, occupancy_override: Optional[int] = None) -> RunResult:
+        """Launch ``kernel``, run to completion, and summarize."""
+        self.launch(kernel, occupancy_override)
+        self.sim.run()
+        if self._tbs_remaining != 0:
+            raise RuntimeError(
+                f"simulation drained with {self._tbs_remaining} TBs unfinished"
+            )
+        result = self._collect(kernel)
+        self._kernel = None
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Result collection
+    # ------------------------------------------------------------------ #
+    def _collect(self, kernel: Kernel) -> RunResult:
+        per_sm_rates = []
+        hits = 0
+        accesses = 0
+        for sm in self.sms:
+            sm_total = sm.l1_tlb_accesses
+            per_sm_rates.append(
+                sm.l1_tlb_hits / sm_total if sm_total else None
+            )
+            hits += sm.l1_tlb_hits
+            accesses += sm_total
+        l1_cache_hits = sum(
+            sm.memory.l1.stats.counter("hits").value for sm in self.sms
+        )
+        l1_cache_total = l1_cache_hits + sum(
+            sm.memory.l1.stats.counter("misses").value for sm in self.sms
+        )
+        traces = None
+        if any(sm.tlb_trace is not None for sm in self.sms):
+            traces = [sm.tlb_trace if sm.tlb_trace is not None else [] for sm in self.sms]
+        return RunResult(
+            kernel_name=kernel.name,
+            cycles=self.sim.now,
+            per_sm_l1_tlb_hit_rate=per_sm_rates,
+            l1_tlb_hits=hits,
+            l1_tlb_accesses=accesses,
+            l2_tlb_hits=self.l2_tlb.hits,
+            l2_tlb_accesses=self.l2_tlb.accesses,
+            walks=self.walkers.stats.counter("walks").value,
+            far_faults=self.walkers.stats.counter("far_faults").value,
+            l1_cache_hit_rate=(l1_cache_hits / l1_cache_total if l1_cache_total else 0.0),
+            tbs_completed=sum(
+                sm.stats.counter("tbs_completed").value for sm in self.sms
+            ),
+            stats=self.sim.stats.dump(),
+            tlb_traces=traces,
+        )

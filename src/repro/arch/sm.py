@@ -1,0 +1,239 @@
+"""Streaming multiprocessor model.
+
+The SM drives warp state machines through the GTO issue port and, per
+transaction, through the two paths of Fig 1:
+
+* translation: private L1 TLB probe (latency scaled by sets probed);
+  on a miss, a per-SM MSHR merges same-VPN requests and forwards one
+  request across the NoC to the shared translation service;
+* data: the per-SM memory path (L1 data cache → NoC → partitions).
+
+The SM is policy-agnostic: the L1 TLB instance it is handed may be the
+baseline VPN-indexed TLB, the paper's TB-id-partitioned TLB (with or
+without set sharing), or the compressed comparator — the SM only calls
+``probe``/``insert``/``probe_latency`` and the optional ``on_tb_finished``
+hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..engine.simulator import Simulator
+from ..memory.subsystem import SMMemoryPath
+from ..translation.address import PageGeometry
+from ..translation.service import SharedTranslationService
+from ..translation.tlb import SetAssociativeTLB
+from .config import GPUConfig, WarpSchedulerKind
+from .kernel import TBTrace
+from .thread_block import TBIDAllocator, TBRuntime
+from .warp import WarpRuntime
+from .warp_scheduler import GTOIssuePort, TranslationAwareIssuePort
+
+#: (warp, line_vaddr, is_write, hw_tb_id) waiting on one VPN translation
+_Waiter = Tuple[WarpRuntime, int, bool, int]
+
+
+class StreamingMultiprocessor:
+    """One SM: TB slots, warp issue, private L1 TLB and L1 cache."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sm_id: int,
+        config: GPUConfig,
+        geometry: PageGeometry,
+        l1_tlb: SetAssociativeTLB,
+        translation_service: SharedTranslationService,
+        memory_path: SMMemoryPath,
+        on_tb_finished: Callable[["StreamingMultiprocessor", TBRuntime], None],
+        record_tlb_trace: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.sm_id = sm_id
+        self.config = config
+        self.geometry = geometry
+        self.l1_tlb = l1_tlb
+        self.translation = translation_service
+        self.memory = memory_path
+        self.on_tb_finished = on_tb_finished
+        if config.warp_scheduler is WarpSchedulerKind.TRANSLATION_AWARE:
+            self.issue_port = TranslationAwareIssuePort(
+                sim, config.issue_interval
+            )
+        else:
+            self.issue_port = GTOIssuePort(sim, config.issue_interval)
+        self.tbid_alloc = TBIDAllocator(config.max_tbs_per_sm)
+        self.resident: Dict[int, TBRuntime] = {}
+        self.occupancy_limit = config.max_tbs_per_sm
+        self.stats = sim.stats.group(f"sm{sm_id}")
+        self._dispatched = self.stats.counter("tbs_dispatched")
+        self._completed = self.stats.counter("tbs_completed")
+        self._translations_sent = self.stats.counter("l2_tlb_requests")
+        self._merged = self.stats.counter("translation_mshr_merged")
+        self._pending: Dict[int, List[_Waiter]] = {}
+        self.tlb_trace: Optional[List[Tuple[int, int]]] = [] if record_tlb_trace else None
+
+    # ------------------------------------------------------------------ #
+    # Kernel / TB lifecycle
+    # ------------------------------------------------------------------ #
+    def prepare_kernel(self, occupancy: int) -> None:
+        """Configure per-kernel state before TBs arrive.
+
+        ``occupancy`` is the compile-time max concurrent TBs for this
+        kernel; the TB-id-partitioned TLB derives its sets-per-TB mapping
+        from it (paper §IV-B).
+        """
+        self.occupancy_limit = min(occupancy, self.config.max_tbs_per_sm)
+        configure = getattr(self.l1_tlb, "configure_occupancy", None)
+        if configure is not None:
+            configure(self.occupancy_limit)
+
+    def has_free_slot(self) -> bool:
+        return len(self.resident) < self.occupancy_limit
+
+    @property
+    def resident_tbs(self) -> int:
+        return len(self.resident)
+
+    def dispatch_tb(self, trace: TBTrace, now: float, age_base: int) -> TBRuntime:
+        """Make ``trace`` resident and start its warps."""
+        if not self.has_free_slot():
+            raise RuntimeError(f"SM{self.sm_id} has no free TB slot")
+        hw_id = self.tbid_alloc.allocate()
+        tb = TBRuntime(trace, hw_id, self.sm_id, now)
+        warps = [
+            WarpRuntime(warp_trace, w, tb, age_base + w)
+            for w, warp_trace in enumerate(trace.warps)
+        ]
+        tb.attach_warps(warps)
+        self.resident[hw_id] = tb
+        self._dispatched.inc()
+        started = False
+        for warp in warps:
+            if warp.done:
+                continue
+            started = True
+            first_gap = warp.trace.instructions[0].compute_gap
+            warp.ready_time = now + first_gap
+            self._schedule_ready(warp)
+        if not started:
+            # Degenerate TB with no memory instructions: completes at once.
+            self.sim.schedule(now, lambda: self._finish_tb(tb))
+        return tb
+
+    def _finish_tb(self, tb: TBRuntime) -> None:
+        self.resident.pop(tb.hw_tb_id, None)
+        self.tbid_alloc.release(tb.hw_tb_id)
+        self._completed.inc()
+        hook = getattr(self.l1_tlb, "on_tb_finished", None)
+        if hook is not None:
+            hook(tb.hw_tb_id)
+        self.on_tb_finished(self, tb)
+
+    # ------------------------------------------------------------------ #
+    # Warp issue
+    # ------------------------------------------------------------------ #
+    def _schedule_ready(self, warp: WarpRuntime) -> None:
+        self.sim.schedule(
+            warp.ready_time,
+            lambda: self.issue_port.request(warp, lambda t: self._on_grant(warp, t)),
+        )
+
+    def _on_grant(self, warp: WarpRuntime, grant_time: float) -> None:
+        if warp.tx_issued == 0:
+            instr = warp.begin_instruction()
+        else:
+            instr = warp.current_instruction()
+        addr = warp.next_transaction()
+        self._start_transaction(warp, addr, instr.is_write, grant_time)
+        if warp.tx_issued < len(instr.transactions):
+            # Divergent instruction: remaining transactions re-arbitrate,
+            # each occupying an issue slot.
+            self.issue_port.request(warp, lambda t: self._on_grant(warp, t))
+
+    # ------------------------------------------------------------------ #
+    # Translation path
+    # ------------------------------------------------------------------ #
+    def _start_transaction(
+        self, warp: WarpRuntime, vaddr: int, is_write: bool, now: float
+    ) -> None:
+        vpn = self.geometry.vpn(vaddr)
+        hw_tb_id = warp.tb.hw_tb_id
+        if self.tlb_trace is not None:
+            self.tlb_trace.append((warp.tb.trace.tb_index, vpn))
+        result = self.l1_tlb.probe(vpn, hw_tb_id)
+        self.issue_port.note_outcome(warp, result.hit)
+        lookup_done = now + self.l1_tlb.probe_latency(result.sets_probed)
+        if result.hit:
+            paddr = self.geometry.address(result.ppn, self.geometry.offset(vaddr))
+            self._data_access(warp, paddr, is_write, lookup_done)
+            return
+        waiters = self._pending.get(vpn)
+        if waiters is not None:
+            waiters.append((warp, vaddr, is_write, hw_tb_id))
+            self._merged.inc()
+            return
+        self._pending[vpn] = [(warp, vaddr, is_write, hw_tb_id)]
+        self._translations_sent.inc()
+        arrival_at_l2 = self.memory.noc.traverse(self.sm_id, lookup_done)
+        self.translation.translate(
+            vpn, arrival_at_l2, lambda ppn, level: self._translation_reply(vpn, ppn)
+        )
+
+    def _translation_reply(self, vpn: int, ppn: int) -> None:
+        back_at_sm = self.sim.now + self.memory.noc.traversal_latency
+        self.sim.schedule(back_at_sm, lambda: self._translation_filled(vpn, ppn))
+
+    def _translation_filled(self, vpn: int, ppn: int) -> None:
+        now = self.sim.now
+        filled_for = set()
+        for warp, vaddr, is_write, hw_tb_id in self._pending.pop(vpn, ()):
+            # Fill once per requesting TB: under TB-id partitioning each
+            # TB's fill lands in its own set(s) (the paper's "redundant
+            # entries" effect); under VPN indexing later fills refresh.
+            if hw_tb_id not in filled_for:
+                self.l1_tlb.insert(vpn, ppn, hw_tb_id)
+                filled_for.add(hw_tb_id)
+            paddr = self.geometry.address(ppn, self.geometry.offset(vaddr))
+            self._data_access(warp, paddr, is_write, now)
+
+    # ------------------------------------------------------------------ #
+    # Data path and retirement
+    # ------------------------------------------------------------------ #
+    def _data_access(
+        self, warp: WarpRuntime, paddr: int, is_write: bool, now: float
+    ) -> None:
+        if now > self.sim.now:
+            self.sim.schedule(
+                now, lambda: self.memory.access(
+                    paddr, now, lambda: self._transaction_complete(warp), is_write
+                )
+            )
+        else:
+            self.memory.access(
+                paddr, now, lambda: self._transaction_complete(warp), is_write
+            )
+
+    def _transaction_complete(self, warp: WarpRuntime) -> None:
+        if not warp.transaction_done():
+            return
+        now = self.sim.now
+        if warp.done:
+            if warp.tb.warp_finished():
+                self._finish_tb(warp.tb)
+            return
+        gap = warp.current_instruction().compute_gap
+        warp.ready_time = now + gap
+        self._schedule_ready(warp)
+
+    # ------------------------------------------------------------------ #
+    # Status reporting (feeds the scheduler's TLB status table, §IV-A)
+    # ------------------------------------------------------------------ #
+    @property
+    def l1_tlb_hits(self) -> int:
+        return self.l1_tlb.hits
+
+    @property
+    def l1_tlb_accesses(self) -> int:
+        return self.l1_tlb.accesses

@@ -1,0 +1,101 @@
+"""Greedy-Then-Oldest (GTO) warp issue arbitration.
+
+The baseline architecture (Table III) issues with GTO: keep issuing from
+the same warp while it is ready ("greedy"), otherwise switch to the
+oldest ready warp.  We model the SM's issue stage as a single port with a
+fixed initiation interval; when the port frees, arbitration picks the
+greedy warp if it is waiting, else the lowest-``age`` waiter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..engine.simulator import Simulator
+from .warp import WarpRuntime
+
+GrantCallback = Callable[[float], None]
+
+
+class GTOIssuePort:
+    """Event-driven GTO issue port for one SM."""
+
+    def __init__(self, sim: Simulator, issue_interval: float = 1.0) -> None:
+        if issue_interval <= 0:
+            raise ValueError(f"issue interval must be positive: {issue_interval}")
+        self.sim = sim
+        self.issue_interval = issue_interval
+        self._waiting: Dict[WarpRuntime, GrantCallback] = {}
+        self._busy_until = 0.0
+        self._arbitration_pending = False
+        self._last_issued: Optional[WarpRuntime] = None
+
+    def request(self, warp: WarpRuntime, callback: GrantCallback) -> None:
+        """Warp asks to issue; ``callback(grant_time)`` fires when granted."""
+        if warp in self._waiting:
+            raise RuntimeError(f"{warp!r} already waiting on the issue port")
+        self._waiting[warp] = callback
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._arbitration_pending or not self._waiting:
+            return
+        self._arbitration_pending = True
+        now = self.sim.now
+        when = now if now >= self._busy_until else self._busy_until
+        self.sim.schedule(when, self._arbitrate, priority=-1)
+
+    def _arbitrate(self) -> None:
+        self._arbitration_pending = False
+        if not self._waiting:
+            return
+        now = self.sim.now
+        warp = self._pick()
+        callback = self._waiting.pop(warp)
+        self._last_issued = warp
+        self._busy_until = now + self.issue_interval
+        callback(now)
+        self._kick()
+
+    def _pick(self) -> WarpRuntime:
+        """GTO: greedy (last issued) if ready, else oldest by dispatch age."""
+        last = self._last_issued
+        if last is not None and last in self._waiting:
+            return last
+        return min(self._waiting, key=lambda w: w.age)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waiting)
+
+    def note_outcome(self, warp: WarpRuntime, hit: bool) -> None:
+        """Hook for translation-outcome feedback (no-op for plain GTO)."""
+
+
+class TranslationAwareIssuePort(GTOIssuePort):
+    """GTO extended with translation-outcome feedback (the paper's
+    future-work direction: translation-reuse-aware warp scheduling).
+
+    The SM reports each warp's last L1 TLB outcome; arbitration keeps
+    GTO's greedy rule but, when switching warps, prefers the oldest warp
+    whose last access *hit* — warps in a translation-miss streak are
+    deprioritized so they do not keep flooding the TLB while their
+    misses resolve, giving hitting warps time to exploit their locality.
+    """
+
+    def __init__(self, sim: Simulator, issue_interval: float = 1.0) -> None:
+        super().__init__(sim, issue_interval)
+        self._missed_last: Dict[WarpRuntime, bool] = {}
+
+    def note_outcome(self, warp: WarpRuntime, hit: bool) -> None:
+        self._missed_last[warp] = not hit
+
+    def _pick(self) -> WarpRuntime:
+        last = self._last_issued
+        if last is not None and last in self._waiting:
+            return last
+        hitting = [
+            w for w in self._waiting if not self._missed_last.get(w, False)
+        ]
+        pool = hitting if hitting else list(self._waiting)
+        return min(pool, key=lambda w: w.age)

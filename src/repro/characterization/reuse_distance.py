@@ -1,0 +1,176 @@
+"""Translation reuse-distance analysis (paper §III-D, Figs 5–6).
+
+**Translation reuse distance** = the number of unique translations
+(pages) observed between two accesses to the same page by the same TB.
+Fig 5 measures it on the interleaved per-SM access stream of the baseline
+execution (inter-TB interference included); Fig 6 on each TB's isolated
+stream (interference removed).
+
+The distance computation is an LRU-stack-distance variant implemented
+with a Fenwick (binary indexed) tree over access positions: the tree
+holds a 1 at the *latest* position of every page seen so far, so the
+number of distinct pages accessed in a position window is a prefix-sum
+difference — O(log n) per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..arch.kernel import Kernel
+from ..engine.stats import Histogram
+from ..translation.address import PAGE_4K
+
+
+class FenwickTree:
+    """Prefix-sum tree over integer positions 1..n."""
+
+    __slots__ = ("n", "tree")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, pos: int, delta: int) -> None:
+        if pos <= 0 or pos > self.n:
+            raise IndexError(f"position {pos} outside 1..{self.n}")
+        while pos <= self.n:
+            self.tree[pos] += delta
+            pos += pos & (-pos)
+
+    def prefix(self, pos: int) -> int:
+        """Sum over 1..pos (pos may be 0 for an empty prefix)."""
+        if pos > self.n:
+            pos = self.n
+        total = 0
+        while pos > 0:
+            total += self.tree[pos]
+            pos -= pos & (-pos)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum over positions lo..hi inclusive (empty if lo > hi)."""
+        if lo > hi:
+            return 0
+        return self.prefix(hi) - self.prefix(lo - 1)
+
+
+def distance_bucket(distance: int) -> int:
+    """Power-of-two bucket exponent: distance d -> ceil(log2(d)) with
+    d=0..1 in bucket 0.  Bucket k holds distances (2^(k-1), 2^k]."""
+    if distance <= 1:
+        return 0
+    return (distance - 1).bit_length()
+
+
+class ReuseDistanceAnalyzer:
+    """Streaming intra-TB reuse-distance computation.
+
+    Feed ``(tb, page)`` accesses in observation order; distances are
+    recorded whenever a TB re-touches a page it accessed before, counting
+    the distinct *other* pages (touched by anyone) in between.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._tree = FenwickTree(capacity)
+        self._pos = 0
+        self._last_any: Dict[int, int] = {}
+        self._last_by_tb: Dict[Tuple[int, int], int] = {}
+        self.histogram = Histogram("reuse_distance")
+        self.accesses = 0
+        self.reuses = 0
+
+    def feed(self, tb: int, page: int) -> None:
+        self._pos += 1
+        pos = self._pos
+        if pos > self._tree.n:
+            raise OverflowError("analyzer capacity exceeded")
+        self.accesses += 1
+        key = (tb, page)
+        prev_tb_pos = self._last_by_tb.get(key)
+        prev_any_pos = self._last_any.get(page)
+        if prev_tb_pos is not None:
+            # Distinct pages whose latest occurrence lies strictly between.
+            distinct = self._tree.range_sum(prev_tb_pos + 1, pos - 1)
+            # Exclude the page itself if it was touched in between by
+            # another TB ("unique translations between the two accesses"
+            # counts other translations).
+            if prev_any_pos is not None and prev_any_pos > prev_tb_pos:
+                distinct -= 1
+            self.histogram.add(distance_bucket(max(distinct, 0)))
+            self.reuses += 1
+        # Move the page's "latest occurrence" marker to this position.
+        if prev_any_pos is not None:
+            self._tree.add(prev_any_pos, -1)
+        self._tree.add(pos, 1)
+        self._last_any[page] = pos
+        self._last_by_tb[key] = pos
+
+    def feed_stream(self, stream: Iterable[Tuple[int, int]]) -> None:
+        for tb, page in stream:
+            self.feed(tb, page)
+
+
+def interleaved_distances(
+    sm_streams: Sequence[Sequence[Tuple[int, int]]],
+) -> Histogram:
+    """Fig 5: distances on the per-SM interleaved (tb, vpn) streams
+    recorded by a baseline simulation (``record_tlb_trace=True``)."""
+    merged = Histogram("reuse_distance")
+    for stream in sm_streams:
+        if not stream:
+            continue
+        analyzer = ReuseDistanceAnalyzer(len(stream))
+        analyzer.feed_stream(stream)
+        for bucket, count in analyzer.histogram.buckets.items():
+            merged.add(bucket, count)
+    return merged
+
+
+def isolated_distances(
+    kernel: Kernel, page_size: int = PAGE_4K
+) -> Histogram:
+    """Fig 6: distances on each TB's own stream (one TB at a time)."""
+    merged = Histogram("reuse_distance")
+    for tb in kernel.tbs:
+        stream = [
+            (tb.tb_index, addr // page_size)
+            for addr in tb.interleaved_addresses()
+        ]
+        if not stream:
+            continue
+        analyzer = ReuseDistanceAnalyzer(len(stream))
+        analyzer.feed_stream(stream)
+        for bucket, count in analyzer.histogram.buckets.items():
+            merged.add(bucket, count)
+    return merged
+
+
+def cdf_points(histogram: Histogram, max_bucket: int = 24) -> List[Tuple[int, float]]:
+    """CDF over power-of-two buckets: [(exponent, fraction <= 2^exp)]."""
+    total = histogram.total
+    if total == 0:
+        return []
+    points = []
+    running = 0
+    top = max(max(histogram.buckets), max_bucket) if histogram.buckets else max_bucket
+    for exp in range(0, top + 1):
+        running += histogram.buckets.get(exp, 0)
+        points.append((exp, running / total))
+    return points
+
+
+def fraction_within(histogram: Histogram, capacity: int) -> float:
+    """Fraction of reuses with distance <= capacity (e.g. 64 = 2^6),
+    i.e. the reuses an LRU structure of that size could capture."""
+    total = histogram.total
+    if total == 0:
+        return 0.0
+    limit_bucket = distance_bucket(capacity)
+    covered = sum(
+        count for bucket, count in histogram.buckets.items()
+        if bucket <= limit_bucket
+    )
+    return covered / total

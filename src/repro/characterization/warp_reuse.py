@@ -1,0 +1,72 @@
+"""Warp-granularity translation reuse (the paper's future-work direction).
+
+The conclusion sketches studying translation reuse at *warp* granularity
+as a follow-up.  This module applies the same Eq. 1 intensity analysis
+with warps as the unit, enabling the ablation experiment that asks how
+much of the intra-TB reuse is actually intra-warp (and would therefore
+be reachable by a translation-aware warp scheduler).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List
+
+from ..arch.kernel import Kernel
+from ..translation.address import PAGE_4K
+from .reuse import NUM_BINS, ReuseBins, bin_index, intra_tb_intensity
+
+
+@dataclass
+class WarpReuseSummary:
+    """Intra-warp vs intra-TB reuse comparison."""
+
+    intra_warp: ReuseBins
+    intra_tb: ReuseBins
+    #: mean fraction of each TB's reused accesses already reused within
+    #: a single warp (1.0 = warp scheduling alone could capture it all)
+    warp_share_of_tb_reuse: float
+
+
+def warp_page_profiles(kernel: Kernel, page_size: int = PAGE_4K) -> List[Counter]:
+    profiles = []
+    for tb in kernel.tbs:
+        for warp in tb.warps:
+            counts: Counter = Counter()
+            for addr in warp.addresses():
+                counts[addr // page_size] += 1
+            profiles.append(counts)
+    return profiles
+
+
+def intra_warp_bins(kernel: Kernel, page_size: int = PAGE_4K) -> ReuseBins:
+    profiles = warp_page_profiles(kernel, page_size)
+    counts = [0] * NUM_BINS
+    for profile in profiles:
+        counts[bin_index(intra_tb_intensity(profile))] += 1
+    total = len(profiles)
+    return ReuseBins([c / total for c in counts] if total else [0.0] * NUM_BINS)
+
+
+def warp_reuse_summary(kernel: Kernel, page_size: int = PAGE_4K) -> WarpReuseSummary:
+    from .reuse import intra_tb_bins  # local import to avoid cycle noise
+
+    warp_bins = intra_warp_bins(kernel, page_size)
+    tb_bins = intra_tb_bins(kernel, page_size)
+    shares = []
+    for tb in kernel.tbs:
+        tb_counts: Counter = Counter()
+        warp_reused = 0
+        for warp in tb.warps:
+            counts: Counter = Counter()
+            for addr in warp.addresses():
+                page = addr // page_size
+                counts[page] += 1
+                tb_counts[page] += 1
+            warp_reused += sum(c for c in counts.values() if c > 1)
+        tb_reused = sum(c for c in tb_counts.values() if c > 1)
+        if tb_reused > 0:
+            shares.append(min(warp_reused / tb_reused, 1.0))
+    share = sum(shares) / len(shares) if shares else 0.0
+    return WarpReuseSummary(warp_bins, tb_bins, share)

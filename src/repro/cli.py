@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one benchmark under a named configuration;
+* ``compare`` — run a benchmark across several configurations;
+* ``report`` — regenerate every table/figure (writes EXPERIMENTS.md
+  with ``--write``);
+* ``list`` — show available benchmarks, configurations, and scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.configs import CONFIGS, get_config
+from .system import build_gpu
+from .workloads import BENCHMARKS, SCALES, TABLE2, make_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "benchmark", choices=BENCHMARKS, help="Table II benchmark name"
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(SCALES),
+        help="workload scale preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _run_one(benchmark: str, config_name: str, scale: str, seed: int):
+    kernel = make_benchmark(benchmark, scale=scale, seed=seed)
+    gpu = build_gpu(get_config(config_name))
+    return gpu.run(kernel)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = _run_one(args.benchmark, args.config, args.scale, args.seed)
+    print(f"benchmark        {args.benchmark} ({args.scale})")
+    print(f"configuration    {args.config}")
+    print(f"cycles           {result.cycles:.0f}")
+    print(f"L1 TLB hit rate  {result.avg_l1_tlb_hit_rate:.4f}")
+    print(f"L2 TLB hit rate  "
+          f"{result.l2_tlb_hits / max(result.l2_tlb_accesses, 1):.4f}")
+    print(f"page walks       {result.walks}")
+    print(f"far faults       {result.far_faults}")
+    print(f"L1 cache hits    {result.l1_cache_hit_rate:.4f}")
+    print(f"TBs completed    {result.tbs_completed}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    base = None
+    print(f"{'config':20s} {'L1 hit':>8s} {'cycles':>12s} {'norm.':>7s}")
+    for name in args.configs:
+        result = _run_one(args.benchmark, name, args.scale, args.seed)
+        if base is None:
+            base = result.cycles
+        print(
+            f"{name:20s} {result.avg_l1_tlb_hit_rate:8.3f} "
+            f"{result.cycles:12.0f} {result.cycles / base:7.3f}"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import report
+
+    argv = [args.scale] + (["--write"] if args.write else [])
+    return report.main(argv)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmarks (paper Table II):")
+    for name in BENCHMARKS:
+        meta = TABLE2[name]
+        print(f"  {name:10s} {meta.application} [{meta.suite}]")
+    print("\nconfigurations:")
+    for name in CONFIGS:
+        print(f"  {name}")
+    print("\nscales:")
+    for name, scale in sorted(SCALES.items(), key=lambda kv: kv[1].size_factor):
+        print(f"  {name:6s} size x{scale.size_factor:g}, "
+              f"up to {scale.max_tbs} traced TBs")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'23 GPU TLB scheduling/partitioning reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one benchmark")
+    _add_common(p_run)
+    p_run.add_argument(
+        "--config", default="baseline", choices=sorted(CONFIGS),
+        help="named machine configuration (default: baseline)",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare configurations")
+    _add_common(p_cmp)
+    p_cmp.add_argument(
+        "--configs", nargs="+", default=["baseline", "partition_sharing"],
+        choices=sorted(CONFIGS),
+    )
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_rep = sub.add_parser("report", help="regenerate all tables/figures")
+    p_rep.add_argument("--scale", default="small", choices=sorted(SCALES))
+    p_rep.add_argument("--write", action="store_true",
+                       help="write EXPERIMENTS.md")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_list = sub.add_parser("list", help="list benchmarks/configs/scales")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

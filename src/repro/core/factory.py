@@ -1,0 +1,82 @@
+"""Factories mapping a :class:`~repro.arch.config.GPUConfig` to the
+concrete L1 TLB and sharing-register objects each SM gets."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.config import GPUConfig, L1TLBMode, SharingPolicyKind
+from ..engine.stats import StatGroup
+from ..translation.compression import CompressedTLB
+from ..translation.tlb import SetAssociativeTLB
+from .partitioned_tlb import CompressedPartitionedL1TLB, PartitionedL1TLB
+from .set_sharing import (
+    AllToAllSharingRegister,
+    CounterSharingRegister,
+    SharingRegister,
+)
+
+
+def build_sharing_register(config: GPUConfig) -> SharingRegister:
+    """Sharing register per the configured policy variant."""
+    capacity = config.max_tbs_per_sm
+    if config.sharing_policy is SharingPolicyKind.ONE_BIT:
+        return SharingRegister(capacity)
+    if config.sharing_policy is SharingPolicyKind.COUNTER:
+        return CounterSharingRegister(capacity, config.sharing_counter_threshold)
+    if config.sharing_policy is SharingPolicyKind.ALL_TO_ALL:
+        return AllToAllSharingRegister(capacity)
+    raise ValueError(f"unknown sharing policy {config.sharing_policy!r}")
+
+
+def build_l1_tlb(
+    config: GPUConfig, stats: Optional[StatGroup] = None, name: str = "l1_tlb"
+) -> SetAssociativeTLB:
+    """Construct one SM's L1 TLB for the configured mode.
+
+    The four corners: baseline / partitioned(+sharing), each optionally
+    with the stride-compression comparator layered on the storage.
+    """
+    mode = config.l1_tlb_mode
+    sharing = None
+    if mode is L1TLBMode.PARTITIONED_SHARING:
+        sharing = build_sharing_register(config)
+    if mode is L1TLBMode.BASELINE:
+        if config.l1_tlb_compression:
+            return CompressedTLB(
+                config.l1_tlb_entries,
+                config.l1_tlb_assoc,
+                config.l1_tlb_latency,
+                max_ratio=config.compression_max_ratio,
+                decompression_latency=config.compression_latency,
+                stats=stats,
+                name=name,
+            )
+        return SetAssociativeTLB(
+            config.l1_tlb_entries,
+            config.l1_tlb_assoc,
+            config.l1_tlb_latency,
+            stats=stats,
+            name=name,
+        )
+    if mode in (L1TLBMode.PARTITIONED, L1TLBMode.PARTITIONED_SHARING):
+        if config.l1_tlb_compression:
+            return CompressedPartitionedL1TLB(
+                config.l1_tlb_entries,
+                config.l1_tlb_assoc,
+                config.l1_tlb_latency,
+                max_ratio=config.compression_max_ratio,
+                decompression_latency=config.compression_latency,
+                sharing=sharing,
+                stats=stats,
+                name=name,
+            )
+        return PartitionedL1TLB(
+            config.l1_tlb_entries,
+            config.l1_tlb_assoc,
+            config.l1_tlb_latency,
+            sharing=sharing,
+            stats=stats,
+            name=name,
+        )
+    raise ValueError(f"unknown L1 TLB mode {mode!r}")

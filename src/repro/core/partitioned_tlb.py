@@ -1,0 +1,215 @@
+"""TB-id-indexed L1 TLB partitioning (paper §IV-B, Fig 8).
+
+Instead of indexing TLB sets with VPN bits, the hardware TB id selects
+the set(s); entries store the whole VPN so any set can hold any page.
+With ``S`` sets and a compile-time occupancy of ``T`` concurrent TBs,
+each TB owns ``S/T`` consecutive sets (one set each for 16 TBs on a
+16-set TLB; four sets each for 4 TBs).  When ``T > S`` multiple TBs
+share a set from the start (paper footnote 1).
+
+Lookup cost: the sets owned by (or shared with) a TB are probed
+serially with a full-VPN compare — a lookup that probes ``k`` sets costs
+``k`` times the base latency, the overhead the paper explicitly charges.
+
+Dynamic adjacent-set sharing (§IV-B, Fig 9) composes through the
+:class:`~repro.core.set_sharing.SharingRegister`: an entry evicted from a
+TB's full sets spills into a free slot of the adjacent TB's sets, setting
+the evicting TB's sharing flag; lookups from a flagged TB also probe the
+neighbour's sets.  Flags reset when a TB indexed to the affected sets
+finishes.  TB finish never flushes entries — ids are recycled, so a new
+TB simply inherits (and gradually replaces) the finished TB's sets,
+preserving any inter-TB reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..engine.stats import StatGroup
+from ..translation.compression import CompressedTLB
+from ..translation.tlb import IndexPolicy, SetAssociativeTLB
+from .set_sharing import AllToAllSharingRegister, SharingRegister
+
+
+class TBIDIndexPolicy(IndexPolicy):
+    """Set indexing by hardware TB id, with optional set sharing."""
+
+    def __init__(
+        self,
+        num_sets: int,
+        occupancy: Optional[int] = None,
+        sharing: Optional[SharingRegister] = None,
+        granularity: int = 1,
+    ) -> None:
+        if num_sets <= 0:
+            raise ValueError(f"num_sets must be positive, got {num_sets}")
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        self.num_sets = num_sets
+        self.sharing = sharing
+        #: VPNs are grouped by ``granularity`` when spreading a TB's
+        #: entries over its sets — the compressed variant groups by its
+        #: range size so coalescible pages stay in one set.
+        self.granularity = granularity
+        self.occupancy = 0
+        self._bounds: List[int] = []
+        self.configure_occupancy(occupancy if occupancy is not None else num_sets)
+
+    def configure_occupancy(self, occupancy: int) -> None:
+        """Recompute the TB-id → sets mapping for a kernel's occupancy."""
+        if occupancy <= 0:
+            raise ValueError(f"occupancy must be positive, got {occupancy}")
+        self.occupancy = occupancy
+        if occupancy >= self.num_sets:
+            self._bounds = []
+        else:
+            # TB i owns sets [bounds[i], bounds[i+1]); remainder spread so
+            # every set is owned by exactly one TB.
+            self._bounds = [
+                (i * self.num_sets) // occupancy for i in range(occupancy + 1)
+            ]
+
+    def sets_for(self, tb_id: int) -> Sequence[int]:
+        """The sets owned by ``tb_id`` under the current occupancy."""
+        if tb_id < 0:
+            raise ValueError(f"negative TB id {tb_id}")
+        if self.occupancy >= self.num_sets:
+            # More concurrent TBs than sets: TBs share sets from the start.
+            return (tb_id % self.num_sets,)
+        slot = tb_id % self.occupancy
+        return range(self._bounds[slot], self._bounds[slot + 1])
+
+    def _require_tb(self, tb_id: Optional[int]) -> int:
+        if tb_id is None:
+            raise ValueError("TB-id-indexed TLB requires a tb_id on every access")
+        return tb_id
+
+    def lookup_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        tb = self._require_tb(tb_id)
+        own = list(self.sets_for(tb))
+        if self.sharing is not None:
+            for partner in self.sharing.partners(tb):
+                own.extend(self.sets_for(partner))
+        return own
+
+    def insert_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        """Preferred own set first (VPN-spread within the TB's sets), then
+        the remaining own sets, then any shared partner sets — the latter
+        only so an already-present (spilled) entry refreshes in place."""
+        tb = self._require_tb(tb_id)
+        own = list(self.sets_for(tb))
+        preferred = own[(vpn // self.granularity) % len(own)]
+        ordered = [preferred] + [s for s in own if s != preferred]
+        if self.sharing is not None:
+            for partner in self.sharing.partners(tb):
+                ordered.extend(self.sets_for(partner))
+        return ordered
+
+
+class _PartitioningMixin:
+    """Shared behaviour for partitioned TLBs (plain and compressed).
+
+    Mixed-in classes must also inherit :class:`SetAssociativeTLB`; the
+    mixin relies on ``self.policy`` being a :class:`TBIDIndexPolicy` and
+    provides the eviction-spill hook and the TB-finish hook the SM calls.
+    """
+
+    sharing: Optional[SharingRegister]
+
+    def _init_partitioning(self, sharing: Optional[SharingRegister]) -> None:
+        self.sharing = sharing
+        self._spills = self.stats.counter("sharing_spills")
+        self._spill_attempts = self.stats.counter("sharing_spill_attempts")
+
+    def configure_occupancy(self, occupancy: int) -> None:
+        occupancy = max(1, occupancy)
+        self.policy.configure_occupancy(occupancy)
+        if self.sharing is not None:
+            self.sharing.configure_occupancy(
+                min(occupancy, self.sharing.capacity)
+            )
+
+    def _spill_targets(self, tb_id: int) -> List[int]:
+        if isinstance(self.sharing, AllToAllSharingRegister):
+            occ = self.policy.occupancy
+            return [t for t in range(min(occ, self.sharing.capacity)) if t != tb_id]
+        return [self.sharing.neighbor(tb_id)]
+
+    def _handle_eviction(
+        self, item: Tuple[int, Any], tb_id: Optional[int]
+    ) -> Optional[int]:
+        if self.sharing is None or tb_id is None:
+            return None
+        self._spill_attempts.inc()
+        for target_tb in self._spill_targets(tb_id):
+            if target_tb == tb_id:
+                continue
+            for set_idx in self.policy.sets_for(target_tb):
+                if self._place_if_free(set_idx, item):
+                    if isinstance(self.sharing, AllToAllSharingRegister):
+                        self.sharing.record_spill_to(tb_id, target_tb)
+                    else:
+                        self.sharing.record_spill(tb_id)
+                    self._spills.inc()
+                    return set_idx
+        return None
+
+    def on_tb_finished(self, tb_id: int) -> None:
+        """TB finished: reset sharing flags; entries are *not* flushed."""
+        if self.sharing is not None:
+            self.sharing.on_tb_finished(tb_id)
+
+
+class PartitionedL1TLB(_PartitioningMixin, SetAssociativeTLB):
+    """The paper's L1 TLB: TB-id partitioning, optional set sharing."""
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        lookup_latency: float,
+        sharing: Optional[SharingRegister] = None,
+        occupancy: Optional[int] = None,
+        stats: Optional[StatGroup] = None,
+        name: str = "l1_tlb_part",
+    ) -> None:
+        num_sets = num_entries // associativity
+        policy = TBIDIndexPolicy(num_sets, occupancy=occupancy, sharing=sharing)
+        super().__init__(
+            num_entries, associativity, lookup_latency, policy, stats, name
+        )
+        self._init_partitioning(sharing)
+
+
+class CompressedPartitionedL1TLB(_PartitioningMixin, CompressedTLB):
+    """TB-id partitioning over stride-compressed entries (ours + PACT'20,
+    the combined configuration of Fig 12)."""
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        lookup_latency: float,
+        max_ratio: int = 8,
+        decompression_latency: float = 1.0,
+        sharing: Optional[SharingRegister] = None,
+        occupancy: Optional[int] = None,
+        stats: Optional[StatGroup] = None,
+        name: str = "l1_tlb_part_comp",
+    ) -> None:
+        num_sets = num_entries // associativity
+        policy = TBIDIndexPolicy(
+            num_sets, occupancy=occupancy, sharing=sharing,
+            granularity=max_ratio,
+        )
+        super().__init__(
+            num_entries,
+            associativity,
+            lookup_latency,
+            max_ratio=max_ratio,
+            decompression_latency=decompression_latency,
+            policy=policy,
+            stats=stats,
+            name=name,
+        )
+        self._init_partitioning(sharing)

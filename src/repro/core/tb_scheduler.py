@@ -1,0 +1,121 @@
+"""Thread-block schedulers: baseline round-robin and TLB-thrashing-aware.
+
+The GPU asks the scheduler for an SM whenever it has a TB to place
+(kernel launch fills every slot; afterwards each TB completion frees
+one).  Per §II, the baseline walks SMs round-robin and skips any without
+sufficient resources.  The paper's scheduler (§IV-A, Fig 7) additionally
+probes the :class:`~repro.core.status_table.TLBStatusTable`: the
+round-robin candidate is accepted only if its instant L1 TLB miss rate is
+low compared to the other SMs; otherwise the scheduler looks for another
+low-miss-rate SM with free resources, falling back to the default
+round-robin choice when none exists.  Neither scheduler throttles
+parallelism: a TB is never delayed if any SM has a free slot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .status_table import TLBStatusTable
+
+
+class TBScheduler:
+    """Scheduler interface used by :class:`repro.arch.gpu.GPU`."""
+
+    def select_sm(self, sms: Sequence) -> Optional[object]:
+        """Return the SM to receive the next TB, or ``None`` if no SM has
+        a free slot."""
+        raise NotImplementedError
+
+    def on_tb_finished(self, sm, tb) -> None:
+        """Hook invoked when a TB completes (default: nothing)."""
+
+
+class RoundRobinScheduler(TBScheduler):
+    """Baseline: round-robin over SMs, skipping full ones."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select_sm(self, sms: Sequence) -> Optional[object]:
+        n = len(sms)
+        for step in range(n):
+            sm = sms[(self._next + step) % n]
+            if sm.has_free_slot():
+                self._next = (self._next + step + 1) % n
+                return sm
+        return None
+
+
+class TLBAwareScheduler(TBScheduler):
+    """Translation-reuse-aware TB scheduling (paper §IV-A).
+
+    ``tolerance`` loosens the "low miss rate compared to other SMs"
+    test: a candidate passes if its miss rate is at most
+    ``mean * (1 + tolerance)``.
+    """
+
+    def __init__(
+        self,
+        num_sms: int,
+        tolerance: float = 0.0,
+        ema_alpha: float = 0.5,
+    ) -> None:
+        self.table = TLBStatusTable(num_sms, ema_alpha=ema_alpha)
+        self.tolerance = tolerance
+        self._next = 0
+
+    # ------------------------------------------------------------------ #
+    def _rr_candidates(self, sms: Sequence) -> List:
+        """SMs with a free slot, in round-robin probe order."""
+        n = len(sms)
+        out = []
+        for step in range(n):
+            sm = sms[(self._next + step) % n]
+            if sm.has_free_slot():
+                out.append(sm)
+        return out
+
+    def _advance_past(self, sms: Sequence, chosen) -> None:
+        n = len(sms)
+        for step in range(n):
+            if sms[(self._next + step) % n] is chosen:
+                self._next = (self._next + step + 1) % n
+                return
+
+    def select_sm(self, sms: Sequence) -> Optional[object]:
+        candidates = self._rr_candidates(sms)
+        if not candidates:
+            return None
+        # SMs stream their ⟨hits, total⟩ counters into the status table.
+        self.table.refresh_from(sms)
+        mean = self.table.mean_miss_rate()
+        default = candidates[0]
+        if mean is None:
+            # No TLB traffic yet (kernel launch): behave like round-robin.
+            self._advance_past(sms, default)
+            return default
+        threshold = mean * (1.0 + self.tolerance)
+        chosen = None
+        for sm in candidates:
+            rate = self.table.miss_rate(sm.sm_id)
+            if rate is None or rate <= threshold:
+                chosen = sm
+                break
+        if chosen is None:
+            # No low-miss-rate SM has room: fall back to default scheduling.
+            chosen = default
+        self._advance_past(sms, chosen)
+        return chosen
+
+
+def make_scheduler(kind, num_sms: int, **kwargs) -> TBScheduler:
+    """Factory keyed by :class:`repro.arch.config.TBSchedulerKind`."""
+    # Imported here to keep this module importable without the arch package.
+    from ..arch.config import TBSchedulerKind
+
+    if kind is TBSchedulerKind.ROUND_ROBIN:
+        return RoundRobinScheduler()
+    if kind is TBSchedulerKind.TLB_AWARE:
+        return TLBAwareScheduler(num_sms, **kwargs)
+    raise ValueError(f"unknown scheduler kind {kind!r}")

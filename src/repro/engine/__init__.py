@@ -1,0 +1,19 @@
+"""Discrete-event simulation core shared by every architectural model."""
+
+from .event_queue import EventHandle, EventQueue
+from .resources import ResourcePool, SerialResource
+from .simulator import SimulationError, Simulator
+from .stats import Counter, Histogram, StatGroup, StatRegistry
+
+__all__ = [
+    "Counter",
+    "EventHandle",
+    "EventQueue",
+    "Histogram",
+    "ResourcePool",
+    "SerialResource",
+    "SimulationError",
+    "Simulator",
+    "StatGroup",
+    "StatRegistry",
+]

@@ -1,0 +1,118 @@
+"""Monotonic discrete-event queue.
+
+The queue orders events by (time, priority, sequence-number).  The sequence
+number guarantees a stable FIFO order for events scheduled at the same time
+with the same priority, which keeps simulations deterministic regardless of
+callback identity (callables are never compared).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class EventQueue:
+    """A binary-heap event queue with stable ordering and cancellation.
+
+    Events may only be scheduled at or after the current time (`now`); the
+    queue enforces monotonicity so components cannot accidentally schedule
+    work in the past.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run at ``time``.
+
+        ``priority`` breaks ties at equal time (lower runs first).
+        Raises ``ValueError`` if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        event = _Event(time, priority, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, priority)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop_and_run(self) -> bool:
+        """Pop the next event, advance the clock, and run its callback.
+
+        Returns ``False`` when the queue is empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        event.callback()
+        return True
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

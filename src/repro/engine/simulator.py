@@ -1,0 +1,65 @@
+"""Simulation driver: owns the event queue and the stat registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .event_queue import EventHandle, EventQueue
+from .stats import StatRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation cannot make forward progress."""
+
+
+class Simulator:
+    """Top-level simulation context.
+
+    Components share one :class:`Simulator`: they schedule events through
+    it and record statistics into its registry.  ``run()`` drains the event
+    queue until it is empty or an optional stop predicate fires.
+    """
+
+    def __init__(self, max_events: int = 500_000_000) -> None:
+        self.queue = EventQueue()
+        self.stats = StatRegistry()
+        self.max_events = max_events
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        return self.queue.schedule(time, callback, priority)
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        return self.queue.schedule_after(delay, callback, priority)
+
+    def run(self, until: Optional[Callable[[], bool]] = None) -> float:
+        """Run events until the queue drains (or ``until()`` is true).
+
+        Returns the final simulation time.  Raises :class:`SimulationError`
+        if the event budget is exhausted, which almost always indicates a
+        livelock in a component model.
+        """
+        while True:
+            if until is not None and until():
+                break
+            if not self.queue.pop_and_run():
+                break
+            self._events_run += 1
+            if self._events_run > self.max_events:
+                raise SimulationError(
+                    f"exceeded event budget ({self.max_events}); "
+                    "likely livelock at t={self.queue.now}"
+                )
+        return self.queue.now

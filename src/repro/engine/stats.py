@@ -1,0 +1,127 @@
+"""Statistics collection for simulator components.
+
+Every architectural component owns a :class:`StatGroup` registered in a
+shared :class:`StatRegistry`.  Stats are plain counters and histograms so
+they are cheap to bump on the hot path; derived ratios are computed lazily.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A sparse integer-keyed histogram (e.g. power-of-two buckets)."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[int, int] = defaultdict(int)
+
+    def add(self, key: int, count: int = 1) -> None:
+        self.buckets[key] += count
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def cdf(self) -> List[Tuple[int, float]]:
+        """Cumulative distribution as ``[(key, fraction <= key), ...]``."""
+        total = self.total
+        if total == 0:
+            return []
+        out: List[Tuple[int, float]] = []
+        running = 0
+        for key in sorted(self.buckets):
+            running += self.buckets[key]
+            out.append((key, running / total))
+        return out
+
+    def reset(self) -> None:
+        self.buckets.clear()
+
+
+class StatGroup:
+    """A namespaced collection of counters and histograms."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator/denominator`` counter ratio; 0.0 when denominator is 0."""
+        den = self._counters[denominator].value if denominator in self._counters else 0
+        if den == 0:
+            return 0.0
+        num = self._counters[numerator].value if numerator in self._counters else 0
+        return num / den
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for h in self._histograms.values():
+            h.reset()
+
+    def as_dict(self) -> Dict[str, int]:
+        return {c.name: c.value for c in self._counters.values()}
+
+
+class StatRegistry:
+    """Registry of all stat groups in one simulation instance."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, StatGroup] = {}
+
+    def group(self, name: str) -> StatGroup:
+        if name not in self._groups:
+            self._groups[name] = StatGroup(name)
+        return self._groups[name]
+
+    def groups(self) -> Iterator[StatGroup]:
+        return iter(self._groups.values())
+
+    def reset(self) -> None:
+        for g in self._groups.values():
+            g.reset()
+
+    def dump(self) -> Dict[str, Dict[str, int]]:
+        """Nested ``{group: {counter: value}}`` snapshot of all counters."""
+        return {g.name: g.as_dict() for g in self._groups.values()}

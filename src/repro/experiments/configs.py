@@ -1,0 +1,70 @@
+"""Named machine configurations used across the experiments.
+
+Every configuration is a small variation of the paper's Table III
+baseline (:data:`repro.arch.config.BASELINE_CONFIG`):
+
+==================  ====================================================
+name                meaning
+==================  ====================================================
+baseline            Table III: RR scheduler, VPN-indexed 64-entry L1 TLB
+l1_256              baseline with a 256-entry L1 TLB (Fig 2)
+sched               + TLB-thrashing-aware TB scheduling (Fig 11 "sched")
+partition           sched + TB-id TLB partitioning, no sharing
+partition_sharing   sched + partitioning + dynamic adjacent-set sharing
+compression         baseline + PACT'20 stride-compressed L1 TLB (Fig 12)
+comp_ours           compression + scheduling + partitioning + sharing
+huge_baseline       baseline on 2 MB pages (§V large-page study)
+huge_ours           partition_sharing on 2 MB pages
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..arch.config import (
+    BASELINE_CONFIG,
+    GPUConfig,
+    L1TLBMode,
+    TBSchedulerKind,
+)
+from ..translation.address import PAGE_2M
+
+BASELINE = BASELINE_CONFIG
+
+L1_256 = BASELINE.replace(l1_tlb_entries=256)
+
+SCHED = BASELINE.replace(tb_scheduler=TBSchedulerKind.TLB_AWARE)
+
+PARTITION = SCHED.replace(l1_tlb_mode=L1TLBMode.PARTITIONED)
+
+PARTITION_SHARING = SCHED.replace(l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING)
+
+COMPRESSION = BASELINE.replace(l1_tlb_compression=True)
+
+COMP_OURS = PARTITION_SHARING.replace(l1_tlb_compression=True)
+
+HUGE_BASELINE = BASELINE.replace(page_size=PAGE_2M)
+
+HUGE_OURS = PARTITION_SHARING.replace(page_size=PAGE_2M)
+
+CONFIGS: Dict[str, GPUConfig] = {
+    "baseline": BASELINE,
+    "l1_256": L1_256,
+    "sched": SCHED,
+    "partition": PARTITION,
+    "partition_sharing": PARTITION_SHARING,
+    "compression": COMPRESSION,
+    "comp_ours": COMP_OURS,
+    "huge_baseline": HUGE_BASELINE,
+    "huge_ours": HUGE_OURS,
+}
+
+
+def get_config(name: str) -> GPUConfig:
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown config {name!r}; choose from {sorted(CONFIGS)}"
+        ) from None

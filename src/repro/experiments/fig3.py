@@ -1,0 +1,77 @@
+"""Fig 3 — inter-TB translation-reuse intensity bins.
+
+Paper claims reproduced here:
+* most benchmarks' TB pairs fall in the low bins (little inter-TB reuse;
+  e.g. bfs has the bulk of pairs in b1);
+* the matrix/vector benchmarks (atax, bicg, gemm, mvt) have a sizable
+  share of pairs with 20–60% intensity (shared vectors/panels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..characterization import ReuseBins, inter_tb_bins
+from .runner import ExperimentRunner, ShapeCheck
+
+MATRIX_BENCHMARKS = ("atax", "bicg", "gemm", "mvt")
+IRREGULAR_BENCHMARKS = ("bfs", "color", "mis", "nw", "pagerank", "3dconv")
+
+
+@dataclass
+class Fig3Result:
+    bins: Dict[str, ReuseBins]
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'benchmark':10s} " + " ".join(f"{f'b{i+1}':>6s}" for i in range(5))
+        ]
+        for b, bins in self.bins.items():
+            lines.append(
+                f"{b:10s} " + " ".join(f"{100*f:6.1f}" for f in bins.fractions)
+            )
+        return "\n".join(lines)
+
+    def shape_checks(self) -> List[ShapeCheck]:
+        checks = []
+        low_dominant = [
+            b for b in IRREGULAR_BENCHMARKS
+            if b in self.bins and self.bins[b].fractions[0] >= 0.5
+        ]
+        checks.append(
+            ShapeCheck(
+                "irregular benchmarks' pairs are mostly in b1 (little "
+                "inter-TB reuse)",
+                len(low_dominant) >= 4,
+                f"b1-dominant: {low_dominant}",
+            )
+        )
+        mid_mass = {
+            b: sum(self.bins[b].fractions[1:4])
+            for b in MATRIX_BENCHMARKS
+            if b in self.bins
+        }
+        sizable = [b for b, m in mid_mass.items() if m >= 0.2]
+        checks.append(
+            ShapeCheck(
+                "matrix benchmarks have sizable 20-80% inter-TB pair mass",
+                len(sizable) >= 3,
+                f"mid-bin mass: { {b: round(m, 2) for b, m in mid_mass.items()} }",
+            )
+        )
+        if "bfs" in self.bins:
+            checks.append(
+                ShapeCheck(
+                    "bfs pairs concentrate in b1",
+                    self.bins["bfs"].fractions[0] >= 0.6,
+                    f"bfs b1={self.bins['bfs'].fractions[0]:.2f}",
+                )
+            )
+        return checks
+
+
+def run(runner: ExperimentRunner) -> Fig3Result:
+    return Fig3Result(
+        {b: inter_tb_bins(runner.kernel(b)) for b in runner.benchmarks}
+    )

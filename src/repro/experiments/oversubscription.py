@@ -1,0 +1,103 @@
+"""Oversubscription study (the paper's motivating UVM scenario).
+
+Table II's benchmarks have footprints up to 107 GB — far beyond GPU
+memory — which is exactly why the paper targets UVM demand paging.  The
+headline evaluation models the steady state (pages resident, far faults
+free); this extension study caps GPU memory below each benchmark's
+traced footprint and measures how eviction/re-fault traffic amplifies
+the cost of poor translation behaviour, and whether the paper's design
+still helps when far faults dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..arch.config import BASELINE_CONFIG, L1TLBMode, TBSchedulerKind
+from ..system import build_gpu
+from ..translation.address import PAGE_4K
+from ..workloads import traced_footprint_bytes
+from .runner import ExperimentRunner, ShapeCheck, geomean
+
+#: far-fault cost used for this study (the headline runs use 0 =
+#: steady state); ~20 us at 1.4 GHz is a conservative migration cost,
+#: scaled down to keep run times reasonable.
+FAR_FAULT_LATENCY = 5000.0
+
+
+@dataclass
+class OversubscriptionResult:
+    #: normalized time of the capped run vs unlimited memory (baseline TLB)
+    slowdown: Dict[str, float]
+    #: far faults per 1000 accesses under the cap
+    fault_rate: Dict[str, float]
+    #: ours-vs-baseline time under the same cap
+    ours_speedup: Dict[str, float]
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'benchmark':10s} {'capped/uncapped':>16s} "
+            f"{'faults/kacc':>12s} {'ours speedup':>13s}"
+        ]
+        for b in self.slowdown:
+            lines.append(
+                f"{b:10s} {self.slowdown[b]:16.3f} "
+                f"{self.fault_rate[b]:12.2f} {self.ours_speedup[b]:13.3f}"
+            )
+        lines.append(
+            f"{'geomean':10s} {geomean(self.slowdown.values()):16.3f} "
+            f"{'':>12s} {geomean(self.ours_speedup.values()):13.3f}"
+        )
+        return "\n".join(lines)
+
+    def shape_checks(self) -> List[ShapeCheck]:
+        slower = [b for b, s in self.slowdown.items() if s > 1.02]
+        ours_gm = geomean(self.ours_speedup.values())
+        return [
+            ShapeCheck(
+                "memory oversubscription slows execution (eviction + "
+                "re-fault traffic)",
+                len(slower) >= max(1, len(self.slowdown) // 2),
+                f"slower: {slower}",
+            ),
+            ShapeCheck(
+                "the proposed design does not lose its benefit under "
+                "oversubscription",
+                ours_gm >= 0.95,
+                f"ours geomean speedup={ours_gm:.3f}",
+            ),
+        ]
+
+
+def run(
+    runner: ExperimentRunner,
+    capacity_fraction: float = 0.5,
+    benchmarks=("bfs", "nw", "atax", "mvt"),
+) -> OversubscriptionResult:
+    slowdown = {}
+    fault_rate = {}
+    ours_speedup = {}
+    for b in benchmarks:
+        if b not in runner.benchmarks:
+            continue
+        kernel = runner.kernel(b)
+        footprint = traced_footprint_bytes(kernel)
+        cap = max(PAGE_4K * 64, int(footprint * capacity_fraction))
+        uncapped_cfg = BASELINE_CONFIG.replace(
+            far_fault_latency=FAR_FAULT_LATENCY
+        )
+        capped_cfg = uncapped_cfg.replace(gpu_memory_bytes=cap)
+        ours_cfg = capped_cfg.replace(
+            tb_scheduler=TBSchedulerKind.TLB_AWARE,
+            l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING,
+        )
+        uncapped = build_gpu(uncapped_cfg).run(kernel)
+        capped = build_gpu(capped_cfg).run(kernel)
+        ours = build_gpu(ours_cfg).run(kernel)
+        slowdown[b] = capped.cycles / uncapped.cycles
+        fault_rate[b] = 1000.0 * capped.far_faults / max(
+            capped.l1_tlb_accesses, 1
+        )
+        ours_speedup[b] = capped.cycles / ours.cycles
+    return OversubscriptionResult(slowdown, fault_rate, ours_speedup)

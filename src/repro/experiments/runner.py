@@ -1,0 +1,100 @@
+"""Experiment runner: simulate (benchmark × config) cells with caching.
+
+All figure modules funnel their simulations through one
+:class:`ExperimentRunner`, which memoizes :class:`~repro.arch.gpu.RunResult`
+per (benchmark, config-name, scale, seed, trace-recording) — Fig 2, 10
+and 11 share baseline runs, so a full paper regeneration simulates each
+cell exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..arch.gpu import RunResult
+from ..arch.kernel import Kernel
+from ..system import build_gpu
+from ..workloads import BENCHMARKS, make_benchmark
+from .configs import get_config
+
+
+@dataclass
+class ExperimentRunner:
+    """Caching simulation front-end for the figure modules."""
+
+    scale: str = "small"
+    seed: int = 0
+    benchmarks: Tuple[str, ...] = BENCHMARKS
+    _kernels: Dict[str, Kernel] = field(default_factory=dict)
+    _results: Dict[Tuple[str, str, bool], RunResult] = field(default_factory=dict)
+
+    def kernel(self, benchmark: str) -> Kernel:
+        if benchmark not in self._kernels:
+            self._kernels[benchmark] = make_benchmark(
+                benchmark, scale=self.scale, seed=self.seed
+            )
+        return self._kernels[benchmark]
+
+    def run(
+        self,
+        benchmark: str,
+        config_name: str,
+        record_tlb_trace: bool = False,
+        occupancy_override: Optional[int] = None,
+    ) -> RunResult:
+        """Simulate one cell (memoized)."""
+        key = (benchmark, config_name, record_tlb_trace)
+        if occupancy_override is not None:
+            key = key + (occupancy_override,)  # type: ignore[assignment]
+        if key not in self._results:
+            gpu = build_gpu(
+                get_config(config_name), record_tlb_trace=record_tlb_trace
+            )
+            self._results[key] = gpu.run(
+                self.kernel(benchmark), occupancy_override=occupancy_override
+            )
+        return self._results[key]
+
+    def run_all(
+        self, config_name: str, record_tlb_trace: bool = False
+    ) -> Dict[str, RunResult]:
+        return {
+            b: self.run(b, config_name, record_tlb_trace)
+            for b in self.benchmarks
+        }
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+@dataclass
+class ShapeCheck:
+    """One reproduction criterion: the paper's qualitative claim and
+    whether our measurement satisfies it."""
+
+    description: str
+    passed: bool
+    measured: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        extra = f" ({self.measured})" if self.measured else ""
+        return f"[{mark}] {self.description}{extra}"
+
+
+def summarize_checks(checks: List[ShapeCheck]) -> str:
+    passed = sum(1 for c in checks if c.passed)
+    return f"{passed}/{len(checks)} shape criteria hold"

@@ -1,0 +1,16 @@
+"""Memory-hierarchy substrate: caches, partitions, DRAM, interconnect."""
+
+from .cache import Cache
+from .dram import DRAMChannel
+from .interconnect import Interconnect
+from .partition import MemoryPartition, PartitionedMemory
+from .subsystem import SMMemoryPath
+
+__all__ = [
+    "Cache",
+    "DRAMChannel",
+    "Interconnect",
+    "MemoryPartition",
+    "PartitionedMemory",
+    "SMMemoryPath",
+]

@@ -1,0 +1,154 @@
+"""Turn-key machine assembly: ``GPUConfig`` → ready-to-run :class:`GPU`.
+
+This is the main entry point of the library::
+
+    from repro import build_gpu, BASELINE_CONFIG
+    from repro.workloads import make_benchmark
+
+    kernel = make_benchmark("bfs", scale="small")
+    gpu = build_gpu(BASELINE_CONFIG)
+    result = gpu.run(kernel)
+    print(result.avg_l1_tlb_hit_rate, result.cycles)
+
+``build_gpu`` wires the substrates (engine, translation, memory, arch)
+to the paper's policies (core) according to the config.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .arch.config import GPUConfig
+from .arch.gpu import GPU
+from .arch.sm import StreamingMultiprocessor
+from .core.factory import build_l1_tlb
+from .core.tb_scheduler import make_scheduler
+from .engine.simulator import Simulator
+from .memory.cache import Cache
+from .memory.interconnect import Interconnect
+from .memory.partition import PartitionedMemory
+from .memory.subsystem import SMMemoryPath
+from .translation.pagesize import geometry_for
+from .translation.service import SharedTranslationService
+from .translation.tlb import SetAssociativeTLB
+from .translation.uvm import UVMManager
+from .translation.walker import WalkerPool
+
+
+def build_gpu(
+    config: GPUConfig,
+    sim: Optional[Simulator] = None,
+    record_tlb_trace: bool = False,
+) -> GPU:
+    """Assemble a full GPU system from ``config``.
+
+    ``record_tlb_trace=True`` makes every SM log its (tb_index, vpn) L1
+    TLB access stream — used by the reuse-distance characterization
+    (Fig 5) at the cost of memory proportional to the trace.
+    """
+    if sim is None:
+        sim = Simulator()
+    geometry = geometry_for(config.page_size)
+
+    # Shared translation machinery (Fig 1 right-hand side).
+    uvm = UVMManager(
+        geometry=geometry,
+        policy=config.allocation_policy,
+        far_fault_latency=config.far_fault_latency,
+        gpu_memory_bytes=config.gpu_memory_bytes,
+    )
+    walkers = WalkerPool(
+        uvm,
+        num_walkers=config.num_walkers,
+        walk_latency=config.walk_latency,
+        stats=sim.stats.group("walkers"),
+    )
+    l2_tlb = SetAssociativeTLB(
+        config.l2_tlb_entries,
+        config.l2_tlb_assoc,
+        config.l2_tlb_latency,
+        stats=sim.stats.group("l2_tlb"),
+        name="l2_tlb",
+    )
+    translation = SharedTranslationService(
+        sim, l2_tlb, walkers, port_interval=config.l2_tlb_port_interval
+    )
+
+    # Shared data-memory system.
+    interconnect = Interconnect(
+        config.num_sms,
+        traversal_latency=config.noc_latency,
+        injection_interval=config.noc_injection_interval,
+        stats=sim.stats.group("interconnect"),
+    )
+    partitions = PartitionedMemory(
+        num_partitions=config.num_partitions,
+        line_bytes=config.line_bytes,
+        registry=sim.stats,
+        l2_slice_bytes=config.l2_slice_bytes,
+        l2_associativity=config.l2_cache_assoc,
+        l2_latency=config.l2_cache_latency,
+        dram_latency=config.dram_latency,
+        dram_interval=config.dram_interval,
+    )
+
+    # Per-SM private structures.
+    sms = []
+    for sm_id in range(config.num_sms):
+        l1_tlb = build_l1_tlb(
+            config, stats=sim.stats.group(f"sm{sm_id}_l1tlb"), name=f"sm{sm_id}_l1tlb"
+        )
+        l1_cache = Cache(
+            config.l1_cache_bytes,
+            config.l1_cache_assoc,
+            config.line_bytes,
+            stats=sim.stats.group(f"sm{sm_id}_l1cache"),
+            name=f"sm{sm_id}_l1cache",
+        )
+        memory_path = SMMemoryPath(
+            sim,
+            sm_id,
+            l1_cache,
+            interconnect,
+            partitions,
+            l1_latency=config.l1_cache_latency,
+            stats=sim.stats.group(f"sm{sm_id}_mem"),
+        )
+        sms.append(
+            StreamingMultiprocessor(
+                sim,
+                sm_id,
+                config,
+                geometry,
+                l1_tlb,
+                translation,
+                memory_path,
+                on_tb_finished=lambda sm, tb: None,  # GPU rebinds this
+                record_tlb_trace=record_tlb_trace,
+            )
+        )
+
+    if config.gpu_memory_bytes is not None:
+        # TLB shootdown on page eviction: the victim's translation must
+        # leave every TLB level before the page migrates to the host.
+        def _shootdown(vpn: int) -> None:
+            l2_tlb.invalidate(vpn)
+            for sm in sms:
+                sm.l1_tlb.invalidate(vpn)
+
+        uvm.invalidate_hook = _shootdown
+
+    scheduler = make_scheduler(config.tb_scheduler, config.num_sms)
+    return GPU(sim, config, geometry, sms, scheduler, l2_tlb, walkers, partitions)
+
+
+def run_kernel(
+    config: GPUConfig,
+    kernel,
+    record_tlb_trace: bool = False,
+    occupancy_override: Optional[int] = None,
+):
+    """One-shot convenience: build a GPU, run ``kernel``, return the
+    :class:`~repro.arch.gpu.RunResult`."""
+    gpu = build_gpu(config, record_tlb_trace=record_tlb_trace)
+    return gpu.run(kernel, occupancy_override=occupancy_override)

@@ -1,0 +1,44 @@
+"""Address-translation substrate: TLBs, page table, walkers, UVM."""
+
+from .address import (
+    GB,
+    GEOMETRY_2M,
+    GEOMETRY_4K,
+    KB,
+    MB,
+    PAGE_2M,
+    PAGE_4K,
+    PageGeometry,
+)
+from .compression import CompressedTLB
+from .page_table import PageTable, WalkOutcome
+from .pagesize import FragmentationReport, fragmentation_from_addresses, geometry_for
+from .service import SharedTranslationService
+from .tlb import IndexPolicy, SetAssociativeTLB, TLBProbeResult, VPNIndexPolicy
+from .uvm import AllocationPolicy, UVMManager
+from .walker import WalkerPool
+
+__all__ = [
+    "AllocationPolicy",
+    "CompressedTLB",
+    "FragmentationReport",
+    "GB",
+    "GEOMETRY_2M",
+    "GEOMETRY_4K",
+    "IndexPolicy",
+    "KB",
+    "MB",
+    "PAGE_2M",
+    "PAGE_4K",
+    "PageGeometry",
+    "PageTable",
+    "SetAssociativeTLB",
+    "SharedTranslationService",
+    "TLBProbeResult",
+    "UVMManager",
+    "VPNIndexPolicy",
+    "WalkOutcome",
+    "WalkerPool",
+    "fragmentation_from_addresses",
+    "geometry_for",
+]

@@ -1,0 +1,127 @@
+"""Multi-level radix page table.
+
+Models an x86-64-style 4-level table (PML4 → PDPT → PD → PT for 4 KB
+pages; 3 levels for 2 MB pages, whose PD entry is the leaf).  The table is
+functional — it maps VPN → PPN — but also tracks how many levels a walk
+touches so the walker model can charge per-level memory accesses if
+configured to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .address import PAGE_2M, PAGE_4K, PageGeometry
+
+#: Index bits consumed per level (x86-64 radix-512).
+BITS_PER_LEVEL = 9
+
+
+@dataclass
+class WalkOutcome:
+    """Result of a page-table walk."""
+
+    ppn: int
+    levels_touched: int
+    faulted: bool = False
+
+
+@dataclass
+class _Node:
+    """One interior page-table node (radix-512 directory)."""
+
+    children: Dict[int, "_Node"] = field(default_factory=dict)
+    leaves: Dict[int, int] = field(default_factory=dict)
+
+
+class PageTable:
+    """A 4-level (4 KB) or 3-level (2 MB) radix page table.
+
+    Mappings are installed by the UVM manager on a page fault; walks on an
+    unmapped VPN report ``faulted=True`` so the caller can trigger demand
+    paging.
+    """
+
+    def __init__(self, geometry: PageGeometry = PageGeometry(PAGE_4K)) -> None:
+        self.geometry = geometry
+        if geometry.page_size == PAGE_4K:
+            self.levels = 4
+        elif geometry.page_size == PAGE_2M:
+            self.levels = 3
+        else:
+            # Generic: 48-bit VA minus offset bits, 9 bits per level.
+            va_bits = 48 - geometry.offset_bits
+            self.levels = max(1, -(-va_bits // BITS_PER_LEVEL))
+        self._root = _Node()
+        self._count = 0
+
+    def _indices(self, vpn: int) -> list:
+        """Per-level radix indices, root first."""
+        idx = []
+        shift = (self.levels - 1) * BITS_PER_LEVEL
+        for _ in range(self.levels):
+            idx.append((vpn >> shift) & ((1 << BITS_PER_LEVEL) - 1))
+            shift -= BITS_PER_LEVEL
+        return idx
+
+    def map(self, vpn: int, ppn: int) -> None:
+        """Install (or replace) a VPN → PPN mapping."""
+        indices = self._indices(vpn)
+        node = self._root
+        for idx in indices[:-1]:
+            child = node.children.get(idx)
+            if child is None:
+                child = _Node()
+                node.children[idx] = child
+            node = child
+        if indices[-1] not in node.leaves:
+            self._count += 1
+        node.leaves[indices[-1]] = ppn
+
+    def unmap(self, vpn: int) -> bool:
+        """Remove a mapping; returns True if it existed."""
+        indices = self._indices(vpn)
+        node = self._root
+        for idx in indices[:-1]:
+            node = node.children.get(idx)
+            if node is None:
+                return False
+        if indices[-1] in node.leaves:
+            del node.leaves[indices[-1]]
+            self._count -= 1
+            return True
+        return False
+
+    def walk(self, vpn: int) -> WalkOutcome:
+        """Walk the table for ``vpn``.
+
+        ``levels_touched`` counts directory levels visited before either
+        resolving the leaf or discovering the hole (for fault latency
+        modelling, a fault still walks to the missing level).
+        """
+        indices = self._indices(vpn)
+        node = self._root
+        touched = 0
+        for idx in indices[:-1]:
+            touched += 1
+            nxt = node.children.get(idx)
+            if nxt is None:
+                return WalkOutcome(ppn=-1, levels_touched=touched, faulted=True)
+            node = nxt
+        touched += 1
+        ppn = node.leaves.get(indices[-1])
+        if ppn is None:
+            return WalkOutcome(ppn=-1, levels_touched=touched, faulted=True)
+        return WalkOutcome(ppn=ppn, levels_touched=touched, faulted=False)
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Functional lookup without walk accounting."""
+        outcome = self.walk(vpn)
+        return None if outcome.faulted else outcome.ppn
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.lookup(vpn) is not None
+
+    def __len__(self) -> int:
+        return self._count

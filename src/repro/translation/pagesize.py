@@ -1,0 +1,64 @@
+"""Page-size study helpers (4 KB baseline vs 2 MB huge pages).
+
+Workload traces are byte-addressed, so running with huge pages is just a
+matter of handing the GPU a 2 MB :class:`~repro.translation.address.PageGeometry`.
+What this module adds is the accounting the paper's huge-page discussion
+relies on: huge pages enlarge TLB reach but suffer *internal
+fragmentation* (a 2 MB frame is committed even when only a few 4 KB
+chunks of it are touched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .address import GEOMETRY_2M, GEOMETRY_4K, PAGE_2M, PAGE_4K, PageGeometry
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Internal-fragmentation accounting for a huge-page run."""
+
+    touched_small_pages: int
+    huge_pages_committed: int
+
+    @property
+    def touched_bytes(self) -> int:
+        return self.touched_small_pages * PAGE_4K
+
+    @property
+    def committed_bytes(self) -> int:
+        return self.huge_pages_committed * PAGE_2M
+
+    @property
+    def wasted_bytes(self) -> int:
+        return self.committed_bytes - self.touched_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of committed huge-page bytes actually touched."""
+        if self.committed_bytes == 0:
+            return 1.0
+        return self.touched_bytes / self.committed_bytes
+
+
+def fragmentation_from_addresses(addresses: Iterable[int]) -> FragmentationReport:
+    """Measure internal fragmentation if ``addresses`` ran on 2 MB pages."""
+    small = set()
+    huge = set()
+    for addr in addresses:
+        small.add(GEOMETRY_4K.vpn(addr))
+        huge.add(GEOMETRY_2M.vpn(addr))
+    return FragmentationReport(
+        touched_small_pages=len(small), huge_pages_committed=len(huge)
+    )
+
+
+def geometry_for(page_size: int) -> PageGeometry:
+    """Geometry for a page size, reusing the shared 4 KB/2 MB instances."""
+    if page_size == PAGE_4K:
+        return GEOMETRY_4K
+    if page_size == PAGE_2M:
+        return GEOMETRY_2M
+    return PageGeometry(page_size)

@@ -1,0 +1,258 @@
+"""Set-associative TLB models.
+
+The TLB is factored three ways so the paper's mechanisms compose:
+
+* an :class:`IndexPolicy` decides *which sets* a lookup probes and an
+  insertion targets (baseline: VPN index bits; the paper's TB-id
+  partitioning plugs in here, see :mod:`repro.core.partitioned_tlb`);
+* :class:`SetAssociativeTLB` owns the set storage and LRU replacement,
+  exposing small per-set hooks (``_probe_set``, ``_insert_new``,
+  ``_place_if_free``) that subclasses override;
+* :class:`~repro.translation.compression.CompressedTLB` overrides the
+  per-set hooks to store stride-compressed range entries (the PACT'20
+  comparator of Fig 12) — orthogonal to the index policy, so
+  "our approach + compression" is just the TB-id policy on the
+  compressed storage.
+
+Timing note: a lookup that probes ``k`` sets costs ``k`` times the base
+lookup latency (paper §IV-B: without extra comparators each additional
+set serializes).  :meth:`SetAssociativeTLB.probe` returns the number of
+sets actually probed so the SM charges the right latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..engine.stats import StatGroup
+
+
+@dataclass
+class TLBProbeResult:
+    """Outcome of a TLB probe."""
+
+    hit: bool
+    ppn: Optional[int]
+    sets_probed: int
+
+
+class IndexPolicy:
+    """Maps a (vpn, tb_id) lookup/insert to TLB set indices."""
+
+    def lookup_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        """Sets that must be probed to find ``vpn``, in probe order."""
+        raise NotImplementedError
+
+    def insert_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        """Candidate sets for inserting ``vpn`` (first is preferred)."""
+        raise NotImplementedError
+
+
+class VPNIndexPolicy(IndexPolicy):
+    """Baseline: the VPN's low-order index bits select a single set.
+
+    ``granularity`` groups ``granularity`` consecutive VPNs into the same
+    set — the compressed TLB uses this so that all pages coalescible into
+    one range entry live in one set.
+    """
+
+    def __init__(self, num_sets: int, granularity: int = 1) -> None:
+        if num_sets <= 0:
+            raise ValueError(f"num_sets must be positive, got {num_sets}")
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        self.num_sets = num_sets
+        self.granularity = granularity
+
+    def lookup_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        return ((vpn // self.granularity) % self.num_sets,)
+
+    def insert_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        return self.lookup_sets(vpn, tb_id)
+
+
+class SetAssociativeTLB:
+    """LRU set-associative TLB storage with a pluggable index policy.
+
+    Entries map VPN -> PPN.  Each set is an ``OrderedDict`` in LRU order
+    (least recently used first).
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        lookup_latency: float,
+        policy: Optional[IndexPolicy] = None,
+        stats: Optional[StatGroup] = None,
+        name: str = "tlb",
+    ) -> None:
+        if num_entries <= 0 or associativity <= 0:
+            raise ValueError("num_entries and associativity must be positive")
+        if num_entries % associativity != 0:
+            raise ValueError(
+                f"{num_entries} entries not divisible by associativity {associativity}"
+            )
+        self.name = name
+        self.num_entries = num_entries
+        self.associativity = associativity
+        self.num_sets = num_entries // associativity
+        self.lookup_latency = lookup_latency
+        self.policy = policy if policy is not None else VPNIndexPolicy(self.num_sets)
+        self.sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = stats if stats is not None else StatGroup(name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._evictions = self.stats.counter("evictions")
+        self._sets_probed = self.stats.counter("sets_probed")
+
+    # ------------------------------------------------------------------ #
+    # Per-set storage hooks (overridden by the compressed TLB)
+    # ------------------------------------------------------------------ #
+    def _probe_set(self, set_idx: int, vpn: int) -> Optional[int]:
+        """Probe one set; on hit refresh LRU and return the PPN."""
+        entry_set = self.sets[set_idx]
+        ppn = entry_set.get(vpn)
+        if ppn is not None:
+            entry_set.move_to_end(vpn)
+        return ppn
+
+    def _refresh(self, set_idx: int, vpn: int, ppn: int) -> bool:
+        """If ``vpn`` is already stored in this set, update it in place."""
+        entry_set = self.sets[set_idx]
+        if vpn in entry_set:
+            entry_set[vpn] = ppn
+            entry_set.move_to_end(vpn)
+            return True
+        return False
+
+    def _insert_new(
+        self, set_idx: int, vpn: int, ppn: int
+    ) -> Optional[Tuple[int, Any]]:
+        """Insert a fresh entry, returning the evicted ``(key, payload)``."""
+        entry_set = self.sets[set_idx]
+        evicted = None
+        if len(entry_set) >= self.associativity:
+            evicted = entry_set.popitem(last=False)
+            self._evictions.inc()
+        entry_set[vpn] = ppn
+        return evicted
+
+    def _place_if_free(self, set_idx: int, item: Tuple[int, Any]) -> bool:
+        """Place a raw evicted ``(key, payload)`` item if the set has room.
+
+        Used by the dynamic set-sharing mechanism to spill an evicted
+        entry into the adjacent TB's set (paper §IV-B).
+        """
+        entry_set = self.sets[set_idx]
+        if len(entry_set) >= self.associativity:
+            return False
+        key, payload = item
+        entry_set[key] = payload
+        return True
+
+    def _handle_eviction(
+        self, item: Tuple[int, Any], tb_id: Optional[int]
+    ) -> Optional[int]:
+        """Hook called with an evicted item; return the set it spilled to
+        (or ``None`` if dropped).  Base TLB drops evictions."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def probe(self, vpn: int, tb_id: Optional[int] = None) -> TLBProbeResult:
+        """Probe for ``vpn``; updates LRU and hit/miss statistics."""
+        probed = 0
+        for set_idx in self.policy.lookup_sets(vpn, tb_id):
+            probed += 1
+            ppn = self._probe_set(set_idx, vpn)
+            if ppn is not None:
+                self._hits.inc()
+                self._sets_probed.inc(probed)
+                return TLBProbeResult(True, ppn, probed)
+        probed = max(probed, 1)
+        self._misses.inc()
+        self._sets_probed.inc(probed)
+        return TLBProbeResult(False, None, probed)
+
+    def contains(self, vpn: int, tb_id: Optional[int] = None) -> bool:
+        """Non-destructive presence check (no LRU update, no stats)."""
+        sets = self.policy.lookup_sets(vpn, tb_id)
+        return any(self._peek_set(s, vpn) for s in sets)
+
+    def _peek_set(self, set_idx: int, vpn: int) -> bool:
+        return vpn in self.sets[set_idx]
+
+    def probe_latency(self, sets_probed: int) -> float:
+        """Latency of a lookup that serialized over ``sets_probed`` sets."""
+        return self.lookup_latency * max(sets_probed, 1)
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, vpn: int, ppn: int, tb_id: Optional[int] = None) -> Optional[int]:
+        """Insert a translation; returns the evicted VPN key, if any.
+
+        If the translation is already present in a candidate set it is
+        refreshed in place.  Otherwise it goes to the first candidate set,
+        evicting that set's LRU entry when full; the evicted entry is
+        offered to :meth:`_handle_eviction` (set sharing hooks in there).
+        """
+        candidates = self.policy.insert_sets(vpn, tb_id)
+        for set_idx in candidates:
+            if self._refresh(set_idx, vpn, ppn):
+                return None
+        evicted = self._insert_new(candidates[0], vpn, ppn)
+        if evicted is None:
+            return None
+        self._handle_eviction(evicted, tb_id)
+        return evicted[0]
+
+    def invalidate(self, vpn: int) -> bool:
+        """Remove ``vpn`` from every set; returns True if it was present."""
+        found = False
+        for entry_set in self.sets:
+            if vpn in entry_set:
+                del entry_set[vpn]
+                found = True
+        return found
+
+    def flush(self) -> None:
+        for entry_set in self.sets:
+            entry_set.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits.value + self._misses.value
+        return self._hits.value / total if total else 0.0
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def accesses(self) -> int:
+        return self._hits.value + self._misses.value
+
+    def set_occupancies(self) -> List[int]:
+        return [len(s) for s in self.sets]
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name}: {self.num_entries} entries, "
+            f"{self.associativity}-way, {self.occupancy} valid)"
+        )

@@ -1,0 +1,160 @@
+"""Unified Virtual Memory manager: demand paging and frame allocation.
+
+Under UVM the GPU touches virtual addresses directly; a page that has
+never been touched is not yet backed by a GPU physical frame.  The first
+page-table walk that discovers the hole triggers a *far fault*: the driver
+migrates the page from host memory and installs the mapping.  We model
+that as a configurable one-off latency plus a frame allocation.
+
+The frame-allocation policy matters to two studies:
+
+* the TLB-compression comparator (Fig 12) benefits when virtually
+  contiguous pages get physically contiguous frames (stride-compressible);
+* the huge-page study allocates 2 MB frames and suffers internal
+  fragmentation, which we track.
+
+Oversubscription (the paper's motivating scenario — Table II footprints
+up to 107 GB against GPU memories of a few GB) is modelled by
+``gpu_memory_bytes``: when resident pages exceed the device capacity the
+manager evicts the least-recently-faulted page back to the host, so a
+re-touch far-faults again.  Evictions invalidate the victim's
+translation through an optional ``invalidate_hook`` (TLB shootdown).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from .address import PAGE_4K, PageGeometry
+from .page_table import PageTable
+
+
+class AllocationPolicy(enum.Enum):
+    """How physical frames are handed out on first touch."""
+
+    #: Virtually adjacent pages in one allocation get adjacent frames
+    #: (what a fresh, unfragmented heap gives you) — compression-friendly.
+    CONTIGUOUS = "contiguous"
+    #: Frames are scattered pseudo-randomly — models a fragmented heap.
+    FRAGMENTED = "fragmented"
+
+
+@dataclass
+class FaultRecord:
+    """Bookkeeping for one far fault."""
+
+    vpn: int
+    ppn: int
+    time: float
+
+
+class UVMManager:
+    """Demand-paging manager over a :class:`PageTable`.
+
+    ``ensure_mapped`` is the single entry point used by the page-table
+    walker: it returns the PPN and the extra latency (0 for an already
+    resident page, ``far_fault_latency`` for a first touch).
+    """
+
+    def __init__(
+        self,
+        page_table: Optional[PageTable] = None,
+        geometry: PageGeometry = PageGeometry(PAGE_4K),
+        policy: AllocationPolicy = AllocationPolicy.CONTIGUOUS,
+        far_fault_latency: float = 2000.0,
+        frame_scramble_seed: int = 0x5BD1E995,
+        gpu_memory_bytes: Optional[int] = None,
+        invalidate_hook: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.page_table = page_table if page_table is not None else PageTable(geometry)
+        self.policy = policy
+        self.far_fault_latency = far_fault_latency
+        self._next_frame = 0
+        self._seed = frame_scramble_seed
+        self._fault_count = 0
+        self._eviction_count = 0
+        #: LRU order = fault/re-touch recency (for oversubscription).
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        if gpu_memory_bytes is not None and gpu_memory_bytes < geometry.page_size:
+            raise ValueError("gpu_memory_bytes smaller than one page")
+        self.capacity_pages = (
+            None if gpu_memory_bytes is None
+            else gpu_memory_bytes // geometry.page_size
+        )
+        self.invalidate_hook = invalidate_hook
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def _allocate_frame(self, vpn: int) -> int:
+        frame = self._next_frame
+        self._next_frame += 1
+        if self.policy is AllocationPolicy.CONTIGUOUS:
+            # First touch in virtual order yields contiguous frames; even
+            # out-of-order touches keep a stable VPN-anchored layout so
+            # virtually adjacent pages are physically adjacent.
+            return vpn
+        # Fragmented: a multiplicative hash scatters frames while staying
+        # deterministic for reproducibility.
+        return ((vpn * self._seed) ^ (vpn >> 7)) & ((1 << 40) - 1)
+
+    # ------------------------------------------------------------------ #
+    # Demand paging
+    # ------------------------------------------------------------------ #
+    def ensure_mapped(self, vpn: int, now: float = 0.0) -> Tuple[int, float]:
+        """Return ``(ppn, extra_latency)`` for ``vpn``, faulting it in if needed."""
+        ppn = self._resident.get(vpn)
+        if ppn is not None:
+            self._resident.move_to_end(vpn)
+            return ppn, 0.0
+        self._evict_if_full()
+        ppn = self._allocate_frame(vpn)
+        self.page_table.map(vpn, ppn)
+        self._resident[vpn] = ppn
+        self._fault_count += 1
+        return ppn, self.far_fault_latency
+
+    def _evict_if_full(self) -> None:
+        """Under oversubscription, push the LRU page back to the host."""
+        if self.capacity_pages is None:
+            return
+        while len(self._resident) >= self.capacity_pages:
+            victim, _ppn = self._resident.popitem(last=False)
+            self.page_table.unmap(victim)
+            self._eviction_count += 1
+            if self.invalidate_hook is not None:
+                # TLB shootdown: stale translations must not survive the
+                # page's migration back to the host.
+                self.invalidate_hook(victim)
+
+    def populate(self, first_vpn: int, num_pages: int) -> None:
+        """Pre-fault a virtual range (e.g. to model a warmed-up region)."""
+        for vpn in range(first_vpn, first_vpn + num_pages):
+            if vpn not in self._resident:
+                self._evict_if_full()
+                ppn = self._allocate_frame(vpn)
+                self.page_table.map(vpn, ppn)
+                self._resident[vpn] = ppn
+
+    def is_resident(self, vpn: int) -> bool:
+        return vpn in self._resident
+
+    @property
+    def fault_count(self) -> int:
+        return self._fault_count
+
+    @property
+    def eviction_count(self) -> int:
+        return self._eviction_count
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return len(self._resident) * self.geometry.page_size

@@ -1,0 +1,300 @@
+"""PolyBench-GPU benchmarks: gemm, atax, bicg, mvt, 3dconv.
+
+Structural models of the (naive, auto-generated) PolyBench GPU kernels:
+
+* **gemm** — one thread per C element (warp = 32 consecutive columns of
+  one row): per k-chunk a broadcast of ``A[i][k..]`` plus coalesced reads
+  of ``B[k..][j0..j0+31]``.  All warps of a TB read the same B column
+  slab, and TBs along a grid row share A rows — the sizable inter-TB
+  reuse the paper reports for the matrix benchmarks (Fig 3).
+* **atax / bicg / mvt** — a matrix–vector pair: a *row-sweep* phase
+  (one thread per row; per column-chunk one coalesced vector read plus a
+  32-transaction divergent sweep down the rows — the TLB-flooding
+  pattern) and a *column-sweep* phase (one thread per column; per row a
+  single coalesced A segment plus a vector broadcast — a tight 2–3-page
+  hot loop).  Both phases' TBs execute concurrently, so flood-y TBs and
+  reuse-y TBs coexist on each SM; the baseline VPN-indexed TLB lets the
+  floods evict the hot loops, which is exactly the inter-TB interference
+  TB-id partitioning removes (why these benchmarks gain from
+  partitioning alone, paper §V).
+* **3dconv** — 3D stencil: each warp sweeps z reading a 3×3×3
+  neighbourhood of row segments; a sliding window of a few pages per TB,
+  too large for a partition slice but comfortable in the shared TLB
+  (why partitioning alone hurts it and set sharing recovers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..arch.kernel import Kernel, TBTrace
+from .base import AddressSpace, TraceBuilder, get_scale, make_kernel
+
+FLOAT = 4
+WARP = 32
+
+
+def _round_to(value: float, multiple: int, minimum: int) -> int:
+    return max(minimum, int(round(value / multiple)) * multiple)
+
+
+# --------------------------------------------------------------------- #
+# gemm
+# --------------------------------------------------------------------- #
+def make_gemm(scale: str = "small", seed: int = 0) -> Kernel:
+    """C = A @ B, one thread per C element, 32x4 thread blocks.
+
+    The k loop is traced per iteration (one A broadcast + one coalesced
+    B row segment per k), preserving the 50/50 access mix whose A-page
+    and B-page short-distance reuse gives gemm its high baseline L1 TLB
+    hit rate (paper Fig 2) — and the whole-row B pages every TB touches
+    give it its sizable inter-TB reuse (Fig 3).
+    """
+    sc = get_scale(scale)
+    n = _round_to(256 * math.sqrt(sc.size_factor), WARP, 2 * WARP)
+    rows_per_tb = 4
+    threads_per_tb = WARP * rows_per_tb
+    space = AddressSpace()
+    a_base = space.alloc("A", n * n * FLOAT)
+    b_base = space.alloc("B", n * n * FLOAT)
+    c_base = space.alloc("C", n * n * FLOAT)
+    row_bytes = n * FLOAT
+    grid_j = n // WARP
+    grid_i = n // rows_per_tb
+    total = grid_j * grid_i
+    traced = min(total, sc.max_tbs, 48)
+    tbs: List[TBTrace] = []
+    for tb in range(traced):
+        bj = tb % grid_j
+        bi = tb // grid_j
+        builder = TraceBuilder(rows_per_tb, compute_gap=6.0)
+        j0 = bj * WARP
+        for w in range(rows_per_tb):
+            i = bi * rows_per_tb + w
+            for k in range(n):
+                # A[i][k]: broadcast within the warp (same row page for
+                # the whole k loop when rows span less than a page).
+                builder.access(w, (a_base + i * row_bytes + k * FLOAT,))
+                # B[k][j0..j0+31]: one coalesced transaction.
+                builder.access(w, (b_base + k * row_bytes + j0 * FLOAT,))
+            builder.access(
+                w, (c_base + i * row_bytes + j0 * FLOAT,), write=True
+            )
+        tbs.append(builder.build(tb))
+    return make_kernel("gemm", tbs, threads_per_tb=threads_per_tb)
+
+
+# --------------------------------------------------------------------- #
+# Matrix-vector family (atax, bicg, mvt)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MVSpec:
+    """Dimensions and sampling of one matrix–vector benchmark."""
+
+    name: str
+    rows: int
+    cols: int
+    row_sweep_gap: float
+    col_sweep_gap: float
+    #: trace every ``row_sample``-th column chunk of the row sweep
+    row_sample: int = 2
+
+
+#: PolyBench-GPU uses 4096x4096 matrices for the matrix-vector kernels;
+#: the 16 KB (4-page) row stride is load-bearing — it makes the row
+#: sweep's 32-page flood alias into a quarter of the VPN-indexed sets,
+#: thrashing the baseline L1 TLB exactly as wide power-of-two matrices
+#: do on real VPN-indexed TLBs (TB-id indexing is immune).
+MV_SPECS = {
+    "atax": MVSpec("atax", rows=12288, cols=4096,
+                   row_sweep_gap=4.0, col_sweep_gap=300.0, row_sample=16),
+    "bicg": MVSpec("bicg", rows=13312, cols=4096,
+                   row_sweep_gap=5.0, col_sweep_gap=300.0, row_sample=16),
+    "mvt": MVSpec("mvt", rows=11776, cols=4096,
+                  row_sweep_gap=4.0, col_sweep_gap=300.0, row_sample=16),
+}
+
+#: PolyBench-GPU launches wide 1-D thread blocks for these kernels; 256
+#: threads at 16 registers/thread -> occupancy 4 TBs/SM -> 4 TLB sets per
+#: TB under TB-id partitioning, which is what lets a TB's vector pages
+#: and cross-warp A-page reuse live in sets its own stride-aliased flood
+#: never touches.
+MV_THREADS_PER_TB = 256
+MV_REGISTERS_PER_THREAD = 16
+#: rows per column-sweep segment (strip-mining bound — keeps column-sweep
+#: TBs about as long-lived as row-sweep TBs so the two kinds stay
+#: co-resident on every SM for the whole run)
+SEG_ROWS = 32
+
+
+def _build_row_tb(spec, bases, rows, cols, rtb: int) -> TraceBuilder:
+    """Row sweep (tmp = A @ x), one thread per row: per column chunk one
+    coalesced x read + a 32-transaction divergent column of A (each
+    thread reads its own row's 128 B segment) — the TLB-flood pattern
+    whose per-warp working set (32+ pages) fits in no TLB slice."""
+    a_base, x_base, _y, tmp_base, _out = bases
+    row_bytes = cols * FLOAT
+    warps = MV_THREADS_PER_TB // WARP
+    builder = TraceBuilder(warps, compute_gap=spec.row_sweep_gap)
+    for w in range(warps):
+        i0 = rtb * MV_THREADS_PER_TB + w * WARP
+        for kc in range(0, cols, WARP * spec.row_sample):
+            builder.access(w, (x_base + kc * FLOAT,))
+            builder.access(
+                w,
+                (a_base + (i0 + t) * row_bytes + kc * FLOAT
+                 for t in range(WARP)),
+            )
+        builder.access(w, (tmp_base + i0 * FLOAT,), write=True)
+    return builder
+
+
+def _build_col_tb(spec, bases, rows, cols, seg: int, ctb: int) -> TraceBuilder:
+    """Column sweep (out = A^T @ y), strip-mined: 128 threads cover 128
+    consecutive columns (4 warps of adjacent 32-column tiles) and every
+    warp scans the *same* row segment.  Per row: a y broadcast + one
+    coalesced A segment — and because the TB's 128 columns sit inside a
+    single row page, all 4 warps touch the same A page and the same y
+    page: a 2–4-page TB-wide hot loop."""
+    a_base, _x, y_base, _tmp, out_base = bases
+    row_bytes = cols * FLOAT
+    warps = MV_THREADS_PER_TB // WARP
+    seg_rows = min(rows, SEG_ROWS)
+    # Sibling warps must trail the leader by more than the translation
+    # fill latency (else their probes merge into the in-flight miss and
+    # can never hit) but less than the 4-deep A-page history; the default
+    # stagger with a compute-heavy loop achieves both.
+    builder = TraceBuilder(warps, compute_gap=spec.col_sweep_gap)
+    for w in range(warps):
+        j0 = (ctb * MV_THREADS_PER_TB + w * WARP) % cols
+        i_lo = seg * seg_rows
+        for i in range(i_lo, i_lo + seg_rows):
+            builder.access(w, (y_base + i * FLOAT,))
+            builder.access(w, (a_base + i * row_bytes + j0 * FLOAT,))
+        builder.access(w, (out_base + j0 * FLOAT,), write=True)
+    return builder
+
+
+def make_matvec(name: str, scale: str = "small", seed: int = 0) -> Kernel:
+    """atax/bicg/mvt: concurrent row-sweep and column-sweep phases.
+
+    The kernel's TB list alternates row-sweep (flood) and column-sweep
+    (hot-loop) TBs of similar duration, so every SM hosts both kinds for
+    the whole run.  In the shared baseline TLB the floods evict the hot
+    loops' pages between reuses; TB-id partitioning confines each TB to
+    its own sets, which is exactly why the paper finds partitioning
+    alone already helps atax/bicg/mvt (§V) while hurting benchmarks
+    without this TB heterogeneity.
+    """
+    spec = MV_SPECS[name]
+    sc = get_scale(scale)
+    dim_scale = math.sqrt(sc.size_factor)
+    rows = _round_to(spec.rows * dim_scale, MV_THREADS_PER_TB, MV_THREADS_PER_TB)
+    rows = max(rows, 2 * SEG_ROWS)
+    cols = _round_to(
+        spec.cols * dim_scale, MV_THREADS_PER_TB, 2 * MV_THREADS_PER_TB
+    )
+    space = AddressSpace()
+    bases = (
+        space.alloc("A", rows * cols * FLOAT),
+        space.alloc("x", cols * FLOAT),       # row-sweep vector
+        space.alloc("y", rows * FLOAT),       # col-sweep vector
+        space.alloc("tmp", rows * FLOAT),     # row-sweep output
+        space.alloc("out", cols * FLOAT),     # col-sweep output
+    )
+    row_total = rows // MV_THREADS_PER_TB
+    tiles = cols // MV_THREADS_PER_TB
+    col_total = (rows // min(rows, SEG_ROWS)) * tiles
+    keep_rows = min(row_total, sc.max_tbs // 2)
+    keep_cols = min(col_total, sc.max_tbs - keep_rows)
+    # Consecutive (segment-major) col TBs: tiles of the same segment share
+    # their y page and A row pages, giving the matrix-vector family its
+    # sizable 20-60% inter-TB pair mass (paper Fig 3, Obs. 2).
+    # Pick column-sweep TBs as (segment, tile) pairs: adjacent tiles of
+    # nearby segments share y pages and A row pages (the inter-TB reuse
+    # mass of Fig 3) while still spreading over enough segments that the
+    # two TB kinds stay mixed on every SM.
+    seg_total = max(rows // min(rows, SEG_ROWS), 1)
+    seg_band = min(seg_total, max(keep_cols // 2, 1))
+    col_picks = [
+        (k % seg_band) * tiles + min(k // seg_band, tiles - 1)
+        for k in range(keep_cols)
+    ]
+    tbs: List[TBTrace] = []
+    row_iter = iter(range(keep_rows))
+    col_iter = iter(col_picks)
+    # Alternate the two kinds in dispatch order (round-robin then spreads
+    # both kinds over all SMs).
+    for k in range(keep_rows + keep_cols):
+        if k % 2 == 0 and keep_rows > 0:
+            rtb = next(row_iter, None)
+            if rtb is not None:
+                tbs.append(
+                    _build_row_tb(spec, bases, rows, cols, rtb).build(len(tbs))
+                )
+                continue
+        pick = next(col_iter, None)
+        if pick is not None:
+            seg, ctb = divmod(pick, tiles)
+            tbs.append(
+                _build_col_tb(spec, bases, rows, cols, seg, ctb).build(len(tbs))
+            )
+        else:
+            rtb = next(row_iter, None)
+            if rtb is not None:
+                tbs.append(
+                    _build_row_tb(spec, bases, rows, cols, rtb).build(len(tbs))
+                )
+    return make_kernel(
+        name, tbs, threads_per_tb=MV_THREADS_PER_TB,
+        registers_per_thread=MV_REGISTERS_PER_THREAD,
+    )
+
+
+# --------------------------------------------------------------------- #
+# 3dconv
+# --------------------------------------------------------------------- #
+def make_3dconv(scale: str = "small", seed: int = 0) -> Kernel:
+    """3D convolution: 32x4 thread tiles sweeping z with a 3x3x3 stencil."""
+    sc = get_scale(scale)
+    dim_scale = math.sqrt(sc.size_factor)
+    nx = _round_to(512 * dim_scale, WARP, 2 * WARP)
+    ny = _round_to(64 * dim_scale, 4, 16)
+    nz = max(8, int(24 * dim_scale))
+    space = AddressSpace()
+    in_base = space.alloc("input", nx * ny * nz * FLOAT)
+    out_base = space.alloc("output", nx * ny * nz * FLOAT)
+    row_bytes = nx * FLOAT
+    plane_bytes = nx * ny * FLOAT
+    tile_y = 4
+    threads_per_tb = WARP * tile_y
+    grid_x = nx // WARP
+    grid_y = ny // tile_y
+    traced = min(grid_x * grid_y, sc.max_tbs)
+    tbs: List[TBTrace] = []
+    for tb in range(traced):
+        gx = tb % grid_x
+        gy = tb // grid_x
+        builder = TraceBuilder(tile_y, compute_gap=5.0)
+        x0 = gx * WARP
+        for w in range(tile_y):
+            y = gy * tile_y + w
+            for z in range(1, nz - 1):
+                neighborhood = []
+                for dz in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        yy = min(max(y + dy, 0), ny - 1)
+                        neighborhood.append(
+                            in_base + (z + dz) * plane_bytes
+                            + yy * row_bytes + x0 * FLOAT
+                        )
+                builder.access(w, neighborhood)
+                builder.access(
+                    w,
+                    (out_base + z * plane_bytes + y * row_bytes + x0 * FLOAT,),
+                    write=True,
+                )
+        tbs.append(builder.build(tb))
+    return make_kernel("3dconv", tbs, threads_per_tb=threads_per_tb)

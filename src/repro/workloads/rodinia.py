@@ -1,0 +1,98 @@
+"""Rodinia nw (Needleman–Wunsch).
+
+Wavefront dynamic programming over an (N+1)² score matrix with 16×16
+tiles.  Each TB loads its reference tile and DP tile (plus top/left
+halos from neighbouring tiles), runs a 31-step internal anti-diagonal
+wavefront dominated by compute, and writes the tile back.
+
+TLB-relevant structure:
+
+* heavy *cold* traffic — every tile touches fresh pages of two large
+  matrices (why nw's hit rate stays low even with a 256-entry TLB,
+  paper Fig 2);
+* a small set of hot accumulator pages re-touched on every wavefront
+  step — a 3–4-page loop that survives in a private TLB partition but
+  is destroyed by inter-TB interference in the shared baseline (why
+  partitioning alone improves nw's hit rate);
+* high compute gaps — the warp scheduler hides much of the translation
+  latency, so the hit-rate gain translates into little execution-time
+  gain (paper §V's nw observation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..arch.kernel import Kernel, TBTrace
+from .base import AddressSpace, TraceBuilder, get_scale, make_kernel
+
+FLOAT = 4
+TILE = 16
+THREADS_PER_TB = 16   # Rodinia nw uses 16-thread blocks
+WAVEFRONT_GAP = 350.0
+#: hot-page re-touches during the internal wavefront (2 ref + 2 dp pages)
+HOT_TOUCHES = 24
+
+
+def make_nw(scale: str = "small", seed: int = 0) -> Kernel:
+    sc = get_scale(scale)
+    n = max(512, int(4096 * math.sqrt(sc.size_factor)) // TILE * TILE)
+    space = AddressSpace()
+    ref_base = space.alloc("reference", n * n * FLOAT)
+    dp_base = space.alloc("input_itemsets", n * n * FLOAT)
+    seq1_base = space.alloc("sequence1", n * 4096)
+    seq2_base = space.alloc("sequence2", n * 4096)
+    row_bytes = n * FLOAT
+    diag_tiles = n // TILE
+    traced = min(diag_tiles, sc.max_tbs)
+    tbs: List[TBTrace] = []
+    for tb in range(traced):
+        # Tiles along the main anti-diagonal (the busiest kernel launch).
+        row0 = tb * TILE
+        col0 = (diag_tiles - 1 - tb) * TILE
+        builder = TraceBuilder(1, compute_gap=30.0)
+        w = 0
+        # Input sequence segments: touched once (cold, never reused).
+        builder.access(
+            w, (seq1_base + (row0 + r) * 4096 for r in range(TILE))
+        )
+        builder.access(
+            w, (seq2_base + (col0 + r) * 4096 for r in range(TILE))
+        )
+        # Halo corner from the neighbouring tiles' results.
+        if row0 > 0 and col0 > 0:
+            builder.access(
+                w, (dp_base + (row0 - 1) * row_bytes + (col0 - 1) * FLOAT,)
+            )
+        # Reference tile and DP tile loads (cold, one page per row).
+        builder.access(
+            w,
+            (ref_base + (row0 + r) * row_bytes + col0 * FLOAT
+             for r in range(TILE)),
+        )
+        builder.access(
+            w,
+            (dp_base + (row0 + r) * row_bytes + col0 * FLOAT
+             for r in range(TILE)),
+        )
+        # Internal wavefront: compute-dominated steps re-touching a small
+        # cycle of hot accumulator pages (the 3–4 pages a private TLB
+        # partition can pin but baseline interference evicts).
+        for step in range(HOT_TOUCHES):
+            r = step % 2
+            array = ref_base if step % 4 < 2 else dp_base
+            builder.access(
+                w,
+                (array + (row0 + r) * row_bytes + col0 * FLOAT,),
+                gap=WAVEFRONT_GAP,
+            )
+        # Write the tile back.
+        builder.access(
+            w,
+            (dp_base + (row0 + r) * row_bytes + col0 * FLOAT
+             for r in range(TILE)),
+            write=True,
+        )
+        tbs.append(builder.build(tb))
+    return make_kernel("nw", tbs, threads_per_tb=THREADS_PER_TB)

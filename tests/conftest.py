@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Simulation tests default to the ``micro`` workload scale so the whole
+suite stays fast; experiment-level shape tests live in benchmarks/.
+"""
+
+import pytest
+
+from repro import BASELINE_CONFIG
+from repro.arch.kernel import Kernel, MemoryInstruction, TBTrace, WarpTrace
+from repro.engine.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def baseline_config():
+    return BASELINE_CONFIG
+
+
+def build_kernel(
+    num_tbs=4,
+    warps_per_tb=2,
+    instrs_per_warp=10,
+    pages_per_warp=None,
+    page_size=4096,
+    compute_gap=4.0,
+    name="synthetic",
+    threads_per_tb=64,
+):
+    """Tiny deterministic kernel: warp w of TB t walks its own pages.
+
+    ``pages_per_warp`` limits the number of distinct pages (cycling),
+    which makes reuse behaviour easy to reason about in tests.
+    """
+    tbs = []
+    for t in range(num_tbs):
+        warps = []
+        for w in range(warps_per_tb):
+            base_page = (t * warps_per_tb + w) * 1000
+            instrs = []
+            for i in range(instrs_per_warp):
+                page = base_page + (
+                    i % pages_per_warp if pages_per_warp else i
+                )
+                instrs.append(
+                    MemoryInstruction(compute_gap, (page * page_size,))
+                )
+            warps.append(WarpTrace(instrs))
+        tbs.append(TBTrace(t, warps))
+    return Kernel(name, threads_per_tb=threads_per_tb, tbs=tbs)
+
+
+@pytest.fixture
+def tiny_kernel():
+    return build_kernel()

@@ -1,0 +1,204 @@
+"""Unit + property tests for the characterization tools (Eq. 1, reuse
+distance via Fenwick-tree stack distance)."""
+
+import pytest
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.kernel import Kernel, MemoryInstruction, TBTrace, WarpTrace
+from repro.characterization.reuse import (
+    ReuseBins,
+    bin_index,
+    inter_tb_bins,
+    inter_tb_intensity,
+    intra_tb_bins,
+    intra_tb_intensity,
+)
+from repro.characterization.reuse_distance import (
+    FenwickTree,
+    ReuseDistanceAnalyzer,
+    cdf_points,
+    distance_bucket,
+    fraction_within,
+    interleaved_distances,
+    isolated_distances,
+)
+
+
+def kernel_from_pages(tb_pages):
+    """Build a kernel where TB i's single warp touches tb_pages[i]."""
+    tbs = []
+    for t, pages in enumerate(tb_pages):
+        instrs = [MemoryInstruction(1.0, (p * 4096,)) for p in pages]
+        tbs.append(TBTrace(t, [WarpTrace(instrs)]))
+    return Kernel("k", threads_per_tb=32, tbs=tbs)
+
+
+class TestIntensity:
+    def test_intra_no_reuse(self):
+        assert intra_tb_intensity(Counter({1: 1, 2: 1})) == 0.0
+
+    def test_intra_full_reuse(self):
+        assert intra_tb_intensity(Counter({1: 5})) == 1.0
+
+    def test_intra_partial(self):
+        # 4 accesses: page 1 twice (reused), pages 2,3 once.
+        assert intra_tb_intensity(Counter({1: 2, 2: 1, 3: 1})) == 0.5
+
+    def test_inter_eq1(self):
+        c1 = Counter({1: 3, 2: 1})  # 4 accesses, page 1 shared
+        c2 = Counter({1: 1, 9: 5})
+        assert inter_tb_intensity(c1, c2) == 0.75
+        assert inter_tb_intensity(c2, c1) == pytest.approx(1 / 6)
+
+    def test_inter_empty(self):
+        assert inter_tb_intensity(Counter(), Counter({1: 1})) == 0.0
+
+    def test_bin_index_boundaries(self):
+        assert bin_index(0.0) == 0
+        assert bin_index(0.199) == 0
+        assert bin_index(0.2) == 1
+        assert bin_index(1.0) == 4
+        with pytest.raises(ValueError):
+            bin_index(1.5)
+
+    def test_bins_sum_to_one(self):
+        kernel = kernel_from_pages([[1, 1, 2], [3, 4], [5, 5, 5]])
+        for bins in (intra_tb_bins(kernel), inter_tb_bins(kernel)):
+            assert sum(bins.fractions) == pytest.approx(1.0)
+
+    def test_disjoint_tbs_have_zero_inter(self):
+        kernel = kernel_from_pages([[1, 2], [3, 4], [5, 6]])
+        bins = inter_tb_bins(kernel)
+        assert bins.fractions[0] == 1.0
+
+    def test_identical_tbs_have_full_inter(self):
+        kernel = kernel_from_pages([[1, 2], [1, 2]])
+        bins = inter_tb_bins(kernel)
+        assert bins.fractions[4] == 1.0
+
+    def test_reuse_bins_validation(self):
+        with pytest.raises(ValueError):
+            ReuseBins([0.5, 0.5])
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        t = FenwickTree(10)
+        t.add(3, 1)
+        t.add(7, 2)
+        assert t.prefix(2) == 0
+        assert t.prefix(3) == 1
+        assert t.prefix(10) == 3
+        assert t.range_sum(4, 7) == 2
+        assert t.range_sum(8, 3) == 0
+
+    def test_bounds(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(0, 1)
+        with pytest.raises(IndexError):
+            t.add(5, 1)
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                    max_size=100))
+    @settings(max_examples=40)
+    def test_property_matches_naive(self, positions):
+        t = FenwickTree(50)
+        naive = [0] * 51
+        for p in positions:
+            t.add(p, 1)
+            naive[p] += 1
+        for lo in range(1, 51, 7):
+            for hi in range(lo, 51, 11):
+                assert t.range_sum(lo, hi) == sum(naive[lo:hi + 1])
+
+
+class TestReuseDistance:
+    def test_distance_buckets(self):
+        assert distance_bucket(0) == 0
+        assert distance_bucket(1) == 0
+        assert distance_bucket(2) == 1
+        assert distance_bucket(64) == 6
+        assert distance_bucket(65) == 7
+
+    def test_simple_stream(self):
+        # Stream (one TB): A B C A -> reuse of A at distance 2 (B, C).
+        a = ReuseDistanceAnalyzer(10)
+        for page in ["A", "B", "C", "A"]:
+            a.feed(0, hash(page))
+        assert a.reuses == 1
+        assert a.histogram.buckets == {distance_bucket(2): 1}
+
+    def test_interference_counts_other_tbs_pages(self):
+        # TB0: A ... A with TB1 touching B, C in between -> distance 2.
+        a = ReuseDistanceAnalyzer(10)
+        a.feed(0, 100)
+        a.feed(1, 200)
+        a.feed(1, 300)
+        a.feed(0, 100)
+        assert a.histogram.buckets == {distance_bucket(2): 1}
+
+    def test_same_page_other_tb_not_counted_as_unique(self):
+        # TB0: A, TB1: A, TB0: A -> zero unique translations in between.
+        a = ReuseDistanceAnalyzer(10)
+        a.feed(0, 100)
+        a.feed(1, 100)
+        a.feed(0, 100)
+        assert a.histogram.buckets == {0: 1}
+
+    def test_immediate_reuse_distance_zero(self):
+        a = ReuseDistanceAnalyzer(4)
+        a.feed(0, 1)
+        a.feed(0, 1)
+        assert a.histogram.buckets == {0: 1}
+
+    def test_isolated_distances_shorter_than_interleaved(self):
+        # Two TBs cycling private pages; interleaving doubles distances.
+        pages = list(range(8)) * 3
+        kernel = kernel_from_pages([pages, [p + 100 for p in pages]])
+        iso = isolated_distances(kernel)
+        inter_stream = []
+        it0 = iter(kernel.tbs[0].interleaved_addresses())
+        it1 = iter(kernel.tbs[1].interleaved_addresses())
+        for a0, a1 in zip(it0, it1):
+            inter_stream.append((0, a0 // 4096))
+            inter_stream.append((1, a1 // 4096))
+        inter = interleaved_distances([inter_stream])
+        assert fraction_within(iso, 8) > fraction_within(inter, 8)
+
+    def test_fraction_within(self):
+        a = ReuseDistanceAnalyzer(100)
+        stream = [(0, p) for p in list(range(4)) * 5]
+        a.feed_stream(stream)
+        assert fraction_within(a.histogram, 4) == 1.0
+        assert fraction_within(a.histogram, 1) == 0.0
+
+    def test_cdf_points_monotonic(self):
+        kernel = kernel_from_pages([list(range(20)) * 2])
+        hist = isolated_distances(kernel)
+        points = cdf_points(hist)
+        values = [v for _e, v in points]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 30)),
+                    min_size=2, max_size=300))
+    @settings(max_examples=40)
+    def test_property_matches_naive_stack_distance(self, stream):
+        analyzer = ReuseDistanceAnalyzer(len(stream))
+        naive_hist = {}
+        last_by_tb = {}
+        history = []
+        for pos, (tb, page) in enumerate(stream):
+            key = (tb, page)
+            if key in last_by_tb:
+                prev = last_by_tb[key]
+                between = {p for p in history[prev + 1: pos] if p != page}
+                bucket = distance_bucket(len(between))
+                naive_hist[bucket] = naive_hist.get(bucket, 0) + 1
+            last_by_tb[key] = pos
+            history.append(page)
+            analyzer.feed(tb, page)
+        assert dict(analyzer.histogram.buckets) == naive_hist

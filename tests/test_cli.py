@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs" in out
+    assert "partition_sharing" in out
+    assert "scales" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "nw", "--scale", "micro"]) == 0
+    out = capsys.readouterr().out
+    assert "L1 TLB hit rate" in out
+    assert "TBs completed" in out
+
+
+def test_run_with_named_config(capsys):
+    assert main(
+        ["run", "nw", "--scale", "micro", "--config", "partition_sharing"]
+    ) == 0
+    assert "partition_sharing" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    assert main(
+        ["compare", "nw", "--scale", "micro",
+         "--configs", "baseline", "partition"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "partition" in out
+    assert "1.000" in out  # baseline normalizes to itself
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nope"])
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "bfs", "--config", "nope"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

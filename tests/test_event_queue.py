@@ -1,0 +1,139 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.event_queue import EventQueue
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    order = []
+    q.schedule(5.0, lambda: order.append("b"))
+    q.schedule(1.0, lambda: order.append("a"))
+    q.schedule(9.0, lambda: order.append("c"))
+    while q.pop_and_run():
+        pass
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.schedule(3.0, lambda i=i: order.append(i))
+    while q.pop_and_run():
+        pass
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties():
+    q = EventQueue()
+    order = []
+    q.schedule(1.0, lambda: order.append("late"), priority=1)
+    q.schedule(1.0, lambda: order.append("early"), priority=-1)
+    while q.pop_and_run():
+        pass
+    assert order == ["early", "late"]
+
+
+def test_now_advances_with_events():
+    q = EventQueue()
+    seen = []
+    q.schedule(2.0, lambda: seen.append(q.now))
+    q.schedule(7.0, lambda: seen.append(q.now))
+    while q.pop_and_run():
+        pass
+    assert seen == [2.0, 7.0]
+    assert q.now == 7.0
+
+
+def test_cannot_schedule_in_the_past():
+    q = EventQueue()
+    q.schedule(5.0, lambda: None)
+    q.pop_and_run()
+    with pytest.raises(ValueError):
+        q.schedule(4.0, lambda: None)
+
+
+def test_schedule_after_uses_relative_delay():
+    q = EventQueue()
+    times = []
+    q.schedule(10.0, lambda: q.schedule_after(5.0, lambda: times.append(q.now)))
+    while q.pop_and_run():
+        pass
+    assert times == [15.0]
+
+
+def test_schedule_after_rejects_negative_delay():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    q = EventQueue()
+    ran = []
+    handle = q.schedule(1.0, lambda: ran.append(1))
+    handle.cancel()
+    assert handle.cancelled
+    while q.pop_and_run():
+        pass
+    assert ran == []
+
+
+def test_len_excludes_cancelled():
+    q = EventQueue()
+    h1 = q.schedule(1.0, lambda: None)
+    q.schedule(2.0, lambda: None)
+    assert len(q) == 2
+    h1.cancel()
+    assert len(q) == 1
+
+
+def test_events_scheduled_during_execution_run():
+    q = EventQueue()
+    order = []
+    q.schedule(1.0, lambda: (order.append("first"),
+                             q.schedule(1.0, lambda: order.append("nested"))))
+    while q.pop_and_run():
+        pass
+    assert order == ["first", "nested"]
+
+
+def test_pop_on_empty_returns_false():
+    assert EventQueue().pop_and_run() is False
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_pop_order_is_sorted(times):
+    q = EventQueue()
+    popped = []
+    for t in times:
+        q.schedule(t, lambda t=t: popped.append(t))
+    while q.pop_and_run():
+        pass
+    assert popped == sorted(times)
+    assert len(popped) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cancellation_removes_exactly_cancelled(events):
+    q = EventQueue()
+    ran = []
+    handles = []
+    for i, (t, cancel) in enumerate(events):
+        handles.append((q.schedule(t, lambda i=i: ran.append(i)), cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    while q.pop_and_run():
+        pass
+    expected = {i for i, (_t, cancel) in enumerate(events) if not cancel}
+    assert set(ran) == expected

@@ -1,0 +1,53 @@
+"""The shipped examples must keep running end-to-end.
+
+Each example is executed in-process (cheapest scale) with argv patched;
+assertions check the banner output so silent breakage is caught.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, argv, capsys):
+    old = sys.argv
+    sys.argv = [path] + argv
+    try:
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_path(path, run_name="__main__")
+        assert excinfo.value.code in (0, None)
+    finally:
+        sys.argv = old
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("examples/quickstart.py", ["nw", "micro"], capsys)
+    assert "Speedup over baseline" in out
+
+
+def test_characterize_workload(capsys):
+    out = run_example(
+        "examples/characterize_workload.py", ["nw", "micro"], capsys
+    )
+    assert "inter-TB" in out
+    assert "Warp-granularity reuse" in out
+
+
+def test_custom_workload(capsys):
+    out = run_example("examples/custom_workload.py", [], capsys)
+    assert "part+share" in out
+
+
+def test_policy_ablation(capsys):
+    out = run_example("examples/policy_ablation.py", ["nw", "micro"], capsys)
+    assert "one_bit" in out
+    assert "512x8" in out
+
+
+def test_oversubscription_study(capsys):
+    out = run_example(
+        "examples/oversubscription_study.py", ["nw", "micro"], capsys
+    )
+    assert "evictions" in out

@@ -1,0 +1,81 @@
+"""Tests for report rendering and the bench-output -> EXPERIMENTS parser."""
+
+import runpy
+
+import pytest
+
+from repro.experiments.report import ExperimentReport, render_markdown
+from repro.experiments.runner import ShapeCheck, summarize_checks
+
+
+class TestReportRendering:
+    def test_render_single_report(self):
+        report = ExperimentReport(
+            "Fig X", "A title", "col1 col2\n1 2",
+            [ShapeCheck("claim holds", True, "x=1"),
+             ShapeCheck("claim fails", False)],
+        )
+        text = report.render()
+        assert "## Fig X — A title" in text
+        assert "[PASS] claim holds (x=1)" in text
+        assert "[FAIL] claim fails" in text
+        assert "1/2 shape criteria hold" in text
+
+    def test_render_markdown_totals(self):
+        reports = [
+            ExperimentReport("A", "t", "x", [ShapeCheck("ok", True)]),
+            ExperimentReport("B", "t", "y", [ShapeCheck("no", False),
+                                             ShapeCheck("yes", True)]),
+        ]
+        text = render_markdown(reports, "micro")
+        assert "2/3 shape checks hold" in text
+        assert "`micro`" in text
+
+    def test_summarize(self):
+        checks = [ShapeCheck("a", True), ShapeCheck("b", False)]
+        assert summarize_checks(checks) == "1/2 shape criteria hold"
+
+
+SAMPLE_BENCH_OUTPUT = """
+============================= test session starts ==============================
+benchmarks/test_fig2.py
+=== Fig 2 (scale=small) ===
+benchmark   64-entry 256-entry
+bfs            0.300     0.600
+  [PASS] most benchmarks improve (n=1)
+  [FAIL] something else
+.
+=== Table III ===
+GPU config | 16 SMs
+  [PASS] 16 SMs
+============================= 2 passed in 1.00s ===============================
+"""
+
+
+class TestBenchOutputParser:
+    @pytest.fixture()
+    def parser(self):
+        module = runpy.run_path("tools/bench_to_experiments.py")
+        return module
+
+    def test_parse_sections(self, parser):
+        sections, scale = parser["parse"](SAMPLE_BENCH_OUTPUT)
+        assert scale == "small"
+        assert set(sections) == {"Fig 2", "Table III"}
+        assert sections["Fig 2"]["checks"] == [
+            ("PASS", "most benchmarks improve (n=1)"),
+            ("FAIL", "something else"),
+        ]
+        # pytest progress dots are filtered out of tables
+        assert all(t.strip(".") for t in sections["Fig 2"]["table"])
+
+    def test_render_counts_pass_fail(self, parser):
+        sections, scale = parser["parse"](SAMPLE_BENCH_OUTPUT)
+        text = parser["render"](sections, scale, "sample.txt")
+        assert "2/3 shape checks hold" in text
+        assert "## Fig 2" in text
+        assert "## Table III" in text
+
+    def test_empty_input_handled(self, parser):
+        sections, _scale = parser["parse"]("no sections here")
+        assert sections == {}

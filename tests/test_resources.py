@@ -1,0 +1,85 @@
+"""Unit tests for serializing resources (ports, walker pools)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.resources import ResourcePool, SerialResource
+
+
+class TestSerialResource:
+    def test_idle_resource_grants_immediately(self):
+        port = SerialResource(occupancy=2.0)
+        assert port.acquire(10.0) == 10.0
+
+    def test_back_to_back_requests_serialize(self):
+        port = SerialResource(occupancy=2.0)
+        assert port.acquire(0.0) == 0.0
+        assert port.acquire(0.0) == 2.0
+        assert port.acquire(0.0) == 4.0
+
+    def test_gap_larger_than_occupancy_leaves_no_queue(self):
+        port = SerialResource(occupancy=2.0)
+        port.acquire(0.0)
+        assert port.acquire(100.0) == 100.0
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            SerialResource(-1.0)
+
+    def test_reset_clears_backlog(self):
+        port = SerialResource(occupancy=10.0)
+        port.acquire(0.0)
+        port.reset()
+        assert port.acquire(0.0) == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=100),
+        st.floats(min_value=0.5, max_value=10),
+    )
+    def test_property_grants_are_monotonic_and_spaced(self, arrivals, occ):
+        port = SerialResource(occupancy=occ)
+        grants = [port.acquire(t) for t in sorted(arrivals)]
+        for a, b in zip(grants, grants[1:]):
+            assert b >= a + occ - 1e-9
+        for arrival, grant in zip(sorted(arrivals), grants):
+            assert grant >= arrival
+
+
+class TestResourcePool:
+    def test_parallel_servers_do_not_queue(self):
+        pool = ResourcePool(4, service_time=100.0)
+        done = [pool.acquire(0.0) for _ in range(4)]
+        assert done == [100.0] * 4
+
+    def test_excess_requests_queue_on_earliest_server(self):
+        pool = ResourcePool(2, service_time=100.0)
+        assert pool.acquire(0.0) == 100.0
+        assert pool.acquire(0.0) == 100.0
+        assert pool.acquire(0.0) == 200.0  # waits for a server
+
+    def test_staggered_arrivals(self):
+        pool = ResourcePool(1, service_time=10.0)
+        assert pool.acquire(0.0) == 10.0
+        assert pool.acquire(5.0) == 20.0
+        assert pool.acquire(50.0) == 60.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ResourcePool(0, 1.0)
+        with pytest.raises(ValueError):
+            ResourcePool(1, -1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=60),
+    )
+    def test_property_throughput_bounded_by_servers(self, n, arrivals):
+        """No time window of length service_time completes more than n."""
+        service = 10.0
+        pool = ResourcePool(n, service_time=service)
+        completions = sorted(pool.acquire(t) for t in sorted(arrivals))
+        for i, start in enumerate(completions):
+            in_window = sum(
+                1 for c in completions if start <= c < start + service - 1e-9
+            )
+            assert in_window <= n

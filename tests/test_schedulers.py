@@ -1,0 +1,122 @@
+"""Unit tests for TB schedulers and the TLB status table."""
+
+import pytest
+
+from repro.core.status_table import TLBStatusTable
+from repro.core.tb_scheduler import (
+    RoundRobinScheduler,
+    TLBAwareScheduler,
+    make_scheduler,
+)
+from repro.arch.config import TBSchedulerKind
+
+
+class FakeSM:
+    def __init__(self, sm_id, free=True, hits=0, total=0):
+        self.sm_id = sm_id
+        self.free = free
+        self.l1_tlb_hits = hits
+        self.l1_tlb_accesses = total
+
+    def has_free_slot(self):
+        return self.free
+
+
+class TestStatusTable:
+    def test_instant_miss_rate_from_deltas(self):
+        t = TLBStatusTable(2, ema_alpha=1.0)
+        t.update(0, hits=50, total=100)
+        assert t.miss_rate(0) == pytest.approx(0.5)
+        t.update(0, hits=50, total=200)  # window: 0 hits of 100
+        assert t.miss_rate(0) == pytest.approx(1.0)
+
+    def test_ema_smoothing(self):
+        t = TLBStatusTable(1, ema_alpha=0.5)
+        t.update(0, 0, 100)      # miss rate 1.0
+        t.update(0, 100, 200)    # window miss 0.0 -> EMA 0.5
+        assert t.miss_rate(0) == pytest.approx(0.5)
+
+    def test_no_data_returns_none(self):
+        t = TLBStatusTable(4)
+        assert t.miss_rate(2) is None
+        assert t.mean_miss_rate() is None
+
+    def test_counters_must_be_monotonic(self):
+        t = TLBStatusTable(1)
+        t.update(0, 10, 20)
+        with pytest.raises(ValueError):
+            t.update(0, 5, 30)
+
+    def test_refresh_from_sms(self):
+        t = TLBStatusTable(2)
+        sms = [FakeSM(0, hits=10, total=100), FakeSM(1, hits=90, total=100)]
+        t.refresh_from(sms)
+        assert t.miss_rate(0) > t.miss_rate(1)
+
+    def test_hardware_size_matches_paper(self):
+        # 16 entries x (4-bit SM id + two 32-bit counters) = 136 bytes.
+        assert TLBStatusTable(16).size_bytes == 136
+
+
+class TestRoundRobin:
+    def test_cycles_through_sms(self):
+        sched = RoundRobinScheduler()
+        sms = [FakeSM(i) for i in range(4)]
+        picks = [sched.select_sm(sms).sm_id for _ in range(6)]
+        assert picks == [0, 1, 2, 3, 0, 1]
+
+    def test_skips_full_sms(self):
+        sched = RoundRobinScheduler()
+        sms = [FakeSM(0, free=False), FakeSM(1), FakeSM(2, free=False)]
+        assert sched.select_sm(sms).sm_id == 1
+        assert sched.select_sm(sms).sm_id == 1
+
+    def test_returns_none_when_all_full(self):
+        sched = RoundRobinScheduler()
+        sms = [FakeSM(i, free=False) for i in range(3)]
+        assert sched.select_sm(sms) is None
+
+
+class TestTLBAware:
+    def test_behaves_like_rr_before_any_traffic(self):
+        sched = TLBAwareScheduler(4)
+        sms = [FakeSM(i) for i in range(4)]
+        assert sched.select_sm(sms).sm_id == 0
+        assert sched.select_sm(sms).sm_id == 1
+
+    def test_prefers_low_miss_rate_sm(self):
+        sched = TLBAwareScheduler(2, ema_alpha=1.0)
+        sms = [FakeSM(0, hits=10, total=100), FakeSM(1, hits=90, total=100)]
+        # SM0 misses 90%, SM1 misses 10%: candidate SM0 is skipped.
+        assert sched.select_sm(sms).sm_id == 1
+
+    def test_falls_back_to_default_when_no_low_miss_sm_has_room(self):
+        sched = TLBAwareScheduler(2, ema_alpha=1.0)
+        sms = [FakeSM(0, hits=10, total=100),
+               FakeSM(1, free=False, hits=90, total=100)]
+        # Only the high-miss SM has room: paper says fall back, not stall.
+        assert sched.select_sm(sms).sm_id == 0
+
+    def test_returns_none_only_when_no_slot_anywhere(self):
+        sched = TLBAwareScheduler(2)
+        sms = [FakeSM(0, free=False), FakeSM(1, free=False)]
+        assert sched.select_sm(sms) is None
+
+    def test_never_throttles_parallelism(self):
+        """Any free slot means a dispatch happens (paper: no throttling)."""
+        sched = TLBAwareScheduler(3, ema_alpha=1.0)
+        sms = [FakeSM(0, hits=0, total=100),
+               FakeSM(1, hits=0, total=100),
+               FakeSM(2, free=False, hits=100, total=100)]
+        assert sched.select_sm(sms) is not None
+
+
+def test_factory():
+    assert isinstance(
+        make_scheduler(TBSchedulerKind.ROUND_ROBIN, 16), RoundRobinScheduler
+    )
+    assert isinstance(
+        make_scheduler(TBSchedulerKind.TLB_AWARE, 16), TLBAwareScheduler
+    )
+    with pytest.raises(ValueError):
+        make_scheduler("bogus", 16)

@@ -1,0 +1,106 @@
+"""Tests for the simulation driver and warp runtime state machine."""
+
+import pytest
+
+from repro.arch.kernel import MemoryInstruction, WarpTrace
+from repro.arch.warp import WarpRuntime
+from repro.engine.simulator import SimulationError, Simulator
+
+
+class TestSimulator:
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule_after(5.0, lambda: seen.append(2))
+        end = sim.run()
+        assert seen == [1, 2]
+        assert end == 5.0
+        assert sim.events_run == 2
+
+    def test_until_predicate_stops_early(self):
+        sim = Simulator()
+        seen = []
+        for t in range(10):
+            sim.schedule(float(t), lambda t=t: seen.append(t))
+        sim.run(until=lambda: len(seen) >= 3)
+        assert len(seen) == 3
+
+    def test_event_budget_detects_livelock(self):
+        sim = Simulator(max_events=100)
+
+        def respawn():
+            sim.schedule_after(1.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_stats_shared_registry(self):
+        sim = Simulator()
+        sim.stats.group("a").counter("x").inc()
+        assert sim.stats.dump()["a"]["x"] == 1
+
+
+def make_warp(transactions_per_instr, n_instr=2):
+    instrs = [
+        MemoryInstruction(1.0, tuple(range(0, 128 * k, 128)) or (0,))
+        for k in [transactions_per_instr] * n_instr
+    ]
+    trace = WarpTrace(instrs)
+
+    class TB:
+        hw_tb_id = 0
+
+    return WarpRuntime(trace, warp_id=0, tb=TB(), age=0)
+
+
+class TestWarpRuntime:
+    def test_single_transaction_lifecycle(self):
+        warp = make_warp(1, n_instr=2)
+        assert not warp.done
+        warp.begin_instruction()
+        warp.next_transaction()
+        assert warp.transaction_done()      # instruction retires
+        assert warp.pc == 1
+        warp.begin_instruction()
+        warp.next_transaction()
+        assert warp.transaction_done()
+        assert warp.done
+
+    def test_multi_transaction_join(self):
+        warp = make_warp(3, n_instr=1)
+        instr = warp.begin_instruction()
+        assert len(instr.transactions) == 3
+        for _ in range(3):
+            warp.next_transaction()
+        assert not warp.transaction_done()
+        assert not warp.transaction_done()
+        assert warp.transaction_done()
+        assert warp.done
+
+    def test_issue_pointer_resets_between_instructions(self):
+        warp = make_warp(2, n_instr=2)
+        warp.begin_instruction()
+        warp.next_transaction()
+        warp.next_transaction()
+        warp.transaction_done()
+        warp.transaction_done()
+        assert warp.tx_issued == 0
+        assert warp.pc == 1
+
+    def test_empty_trace_is_done_immediately(self):
+        class TB:
+            hw_tb_id = 0
+
+        warp = WarpRuntime(WarpTrace([]), 0, TB(), 0)
+        assert warp.done
+        assert warp.current_instruction() is None
+
+    def test_instructions_remaining(self):
+        warp = make_warp(1, n_instr=5)
+        assert warp.instructions_remaining == 5
+        warp.begin_instruction()
+        warp.next_transaction()
+        warp.transaction_done()
+        assert warp.instructions_remaining == 4

@@ -1,0 +1,62 @@
+"""Unit tests for the statistics layer."""
+
+from repro.engine.stats import Counter, Histogram, StatGroup, StatRegistry
+
+
+def test_counter_increment_and_reset():
+    c = Counter("hits")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    c.reset()
+    assert c.value == 0
+
+
+def test_histogram_totals_and_cdf():
+    h = Histogram("dist")
+    h.add(1, 2)
+    h.add(3, 2)
+    assert h.total == 4
+    cdf = h.cdf()
+    assert cdf == [(1, 0.5), (3, 1.0)]
+
+
+def test_histogram_empty_cdf():
+    assert Histogram("x").cdf() == []
+
+
+def test_stat_group_reuses_counters():
+    g = StatGroup("sm0")
+    assert g.counter("hits") is g.counter("hits")
+    g.counter("hits").inc(3)
+    g.counter("total").inc(4)
+    assert g.ratio("hits", "total") == 0.75
+
+
+def test_ratio_zero_denominator():
+    g = StatGroup("g")
+    g.counter("hits")
+    assert g.ratio("hits", "missing") == 0.0
+
+
+def test_group_reset_clears_everything():
+    g = StatGroup("g")
+    g.counter("a").inc()
+    g.histogram("h").add(1)
+    g.reset()
+    assert g.counter("a").value == 0
+    assert g.histogram("h").total == 0
+
+
+def test_registry_namespacing_and_dump():
+    r = StatRegistry()
+    r.group("sm0").counter("hits").inc(2)
+    r.group("sm1").counter("hits").inc(7)
+    dump = r.dump()
+    assert dump["sm0"]["hits"] == 2
+    assert dump["sm1"]["hits"] == 7
+
+
+def test_registry_group_identity():
+    r = StatRegistry()
+    assert r.group("x") is r.group("x")

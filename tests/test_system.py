@@ -1,0 +1,88 @@
+"""Tests for the turn-key system assembly (repro.system)."""
+
+import pytest
+
+from repro import BASELINE_CONFIG, L1TLBMode, build_gpu
+from repro.core.partitioned_tlb import (
+    CompressedPartitionedL1TLB,
+    PartitionedL1TLB,
+)
+from repro.core.factory import build_l1_tlb, build_sharing_register
+from repro.core.set_sharing import (
+    AllToAllSharingRegister,
+    CounterSharingRegister,
+    SharingRegister,
+)
+from repro.arch.config import SharingPolicyKind
+from repro.translation.address import PAGE_2M
+from repro.translation.compression import CompressedTLB
+from repro.translation.tlb import SetAssociativeTLB
+
+
+class TestFactory:
+    def test_baseline_tlb(self):
+        tlb = build_l1_tlb(BASELINE_CONFIG)
+        assert type(tlb) is SetAssociativeTLB
+        assert tlb.num_entries == 64
+
+    def test_partitioned_tlb(self):
+        cfg = BASELINE_CONFIG.replace(l1_tlb_mode=L1TLBMode.PARTITIONED)
+        tlb = build_l1_tlb(cfg)
+        assert type(tlb) is PartitionedL1TLB
+        assert tlb.sharing is None
+
+    def test_partitioned_sharing_tlb(self):
+        cfg = BASELINE_CONFIG.replace(
+            l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING
+        )
+        tlb = build_l1_tlb(cfg)
+        assert isinstance(tlb.sharing, SharingRegister)
+
+    def test_compressed_variants(self):
+        cfg = BASELINE_CONFIG.replace(l1_tlb_compression=True)
+        assert type(build_l1_tlb(cfg)) is CompressedTLB
+        cfg2 = cfg.replace(l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING)
+        tlb = build_l1_tlb(cfg2)
+        assert type(tlb) is CompressedPartitionedL1TLB
+        assert tlb.sharing is not None
+
+    def test_sharing_register_variants(self):
+        for kind, cls in [
+            (SharingPolicyKind.ONE_BIT, SharingRegister),
+            (SharingPolicyKind.COUNTER, CounterSharingRegister),
+            (SharingPolicyKind.ALL_TO_ALL, AllToAllSharingRegister),
+        ]:
+            cfg = BASELINE_CONFIG.replace(sharing_policy=kind)
+            assert type(build_sharing_register(cfg)) is cls
+
+
+class TestBuildGPU:
+    def test_structure_matches_config(self):
+        gpu = build_gpu(BASELINE_CONFIG)
+        assert len(gpu.sms) == 16
+        assert gpu.l2_tlb.num_entries == 512
+        assert gpu.walkers.num_walkers == 8
+        assert gpu.partitions.num_partitions == 12
+
+    def test_each_sm_gets_private_structures(self):
+        gpu = build_gpu(BASELINE_CONFIG)
+        tlbs = {id(sm.l1_tlb) for sm in gpu.sms}
+        caches = {id(sm.memory.l1) for sm in gpu.sms}
+        assert len(tlbs) == 16
+        assert len(caches) == 16
+
+    def test_shared_structures_are_shared(self):
+        gpu = build_gpu(BASELINE_CONFIG)
+        services = {id(sm.translation) for sm in gpu.sms}
+        assert len(services) == 1
+
+    def test_huge_page_geometry_propagates(self):
+        gpu = build_gpu(BASELINE_CONFIG.replace(page_size=PAGE_2M))
+        assert gpu.geometry.page_size == PAGE_2M
+        assert gpu.walkers.uvm.geometry.page_size == PAGE_2M
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BASELINE_CONFIG.replace(l1_tlb_entries=63)
+        with pytest.raises(ValueError):
+            BASELINE_CONFIG.replace(num_sms=0)

@@ -1,0 +1,82 @@
+"""Tests for the translation-aware warp scheduler extension."""
+
+from repro import BASELINE_CONFIG, WarpSchedulerKind, build_gpu
+from repro.arch.kernel import MemoryInstruction, WarpTrace
+from repro.arch.warp import WarpRuntime
+from repro.arch.warp_scheduler import GTOIssuePort, TranslationAwareIssuePort
+from repro.engine.simulator import Simulator
+
+from conftest import build_kernel
+
+
+def make_warp(age):
+    trace = WarpTrace([MemoryInstruction(0.0, (0,))])
+
+    class TB:
+        hw_tb_id = 0
+
+    return WarpRuntime(trace, warp_id=age, tb=TB(), age=age)
+
+
+def test_gto_note_outcome_is_noop():
+    port = GTOIssuePort(Simulator())
+    port.note_outcome(make_warp(0), hit=False)  # must not raise
+
+
+def test_translation_aware_prefers_hitting_warps():
+    sim = Simulator()
+    port = TranslationAwareIssuePort(sim, issue_interval=1.0)
+    w_miss, w_hit = make_warp(0), make_warp(5)
+    port.note_outcome(w_miss, hit=False)
+    port.note_outcome(w_hit, hit=True)
+    order = []
+    port.request(w_miss, lambda t: order.append("miss"))
+    port.request(w_hit, lambda t: order.append("hit"))
+    sim.run()
+    # Despite being younger by age, the hitting warp goes first.
+    assert order == ["hit", "miss"]
+
+
+def test_translation_aware_falls_back_when_all_missing():
+    sim = Simulator()
+    port = TranslationAwareIssuePort(sim, issue_interval=1.0)
+    w0, w1 = make_warp(3), make_warp(1)
+    port.note_outcome(w0, hit=False)
+    port.note_outcome(w1, hit=False)
+    order = []
+    port.request(w0, lambda t: order.append(3))
+    port.request(w1, lambda t: order.append(1))
+    sim.run()
+    assert order == [1, 3]  # oldest first among all-missing
+
+
+def test_greedy_still_wins():
+    sim = Simulator()
+    port = TranslationAwareIssuePort(sim, issue_interval=1.0)
+    w0 = make_warp(0)
+    order = []
+
+    def regrant(_t):
+        order.append("w0")
+        if len(order) == 1:
+            port.note_outcome(w0, hit=False)
+            port.request(w0, lambda t: order.append("w0-again"))
+            w_new = make_warp(9)
+            port.note_outcome(w_new, hit=True)
+            port.request(w_new, lambda t: order.append("w9"))
+
+    port.request(w0, regrant)
+    sim.run()
+    # Greedy: w0 re-issues before the hitting warp despite its miss.
+    assert order == ["w0", "w0-again", "w9"]
+
+
+def test_full_run_with_translation_aware_scheduler():
+    kernel = build_kernel(num_tbs=8, warps_per_tb=2, instrs_per_warp=20,
+                          pages_per_warp=3)
+    cfg = BASELINE_CONFIG.replace(
+        warp_scheduler=WarpSchedulerKind.TRANSLATION_AWARE
+    )
+    result = build_gpu(cfg).run(kernel)
+    assert result.tbs_completed == 8
+    assert result.l1_tlb_accesses == kernel.total_transactions()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Render EXPERIMENTS.md from a `pytest benchmarks/ -s` output capture.
+
+The benchmark suite prints every regenerated table and its shape checks
+(`=== <label> (scale=<s>) ===` sections).  This tool converts that
+capture into the EXPERIMENTS.md format, so the experiment record always
+matches the benches that were actually run:
+
+    pytest benchmarks/ --benchmark-only -s | tee bench_output.txt
+    python tools/bench_to_experiments.py bench_output.txt
+"""
+
+import re
+import sys
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Rendered from the benchmark suite output by
+`python tools/bench_to_experiments.py {source}`
+(regenerate the data with `pytest benchmarks/ --benchmark-only -s`).
+
+Workload scale: `{scale}` (synthetic traces; see DESIGN.md for the
+substitution table).  Absolute numbers are not expected to match the
+paper's gem5-gpu testbed; each experiment instead checks the paper's
+qualitative claims ("shape checks").
+
+**Overall: {passed}/{total} shape checks hold.**
+
+"""
+
+SECTION_RE = re.compile(r"^=== (.+?)(?: \(scale=(\w+)\))? ===$")
+CHECK_RE = re.compile(r"^\s*\[(PASS|FAIL)\] (.*)$")
+
+#: ordering + titles for known sections
+TITLES = {
+    "Table II": "Benchmarks",
+    "Table III": "Baseline configuration",
+    "Fig 2": "Baseline L1 TLB hit rates (64 vs 256 entries)",
+    "Fig 3": "Inter-TB translation reuse",
+    "Fig 4": "Intra-TB translation reuse",
+    "Fig 5": "Intra-TB reuse distance (with interference)",
+    "Fig 6": "Intra-TB reuse distance (interference removed)",
+    "Fig 10": "L1 TLB hit rates of the proposal",
+    "Fig 11": "Normalized execution time",
+    "Fig 12": "Comparison with TLB compression",
+    "Large pages": "2MB-page study (§V)",
+    "Ext: oversubscription": "GPU memory oversubscription (extension)",
+    "Ablation: sharing policy": "1-bit vs counter vs all-to-all sharing",
+    "Ablation: TLB geometry": "L1 TLB capacity scaling",
+    "Ablation: warp-granularity reuse": "Warp-level reuse (future work)",
+    "Ablation: warp scheduler": "Translation-aware warp issue (future work)",
+}
+
+ORDER = list(TITLES)
+
+
+def parse(text):
+    sections = {}
+    label = None
+    scale = "small"
+    for line in text.splitlines():
+        m = SECTION_RE.match(line.strip())
+        if m:
+            label = m.group(1)
+            if m.group(2):
+                scale = m.group(2)
+            sections[label] = {"table": [], "checks": []}
+            continue
+        if label is None:
+            continue
+        c = CHECK_RE.match(line)
+        if c:
+            sections[label]["checks"].append((c.group(1), c.group(2)))
+            continue
+        if line.startswith(("=", "-----", "benchmarks/", "platform",
+                            "rootdir", "plugins", "collect")):
+            label_done = line.startswith("=")
+            if label_done:
+                label = None
+            continue
+        if re.fullmatch(r"[.sFxE ]*", line.strip()):
+            continue  # pytest progress dots
+        if line.strip() and not line.startswith(("Name (time", "Legend",
+                                                 "  Outliers", "  OPS")):
+            sections[label]["table"].append(line.rstrip())
+    return sections, scale
+
+
+def render(sections, scale, source):
+    total = sum(len(s["checks"]) for s in sections.values())
+    passed = sum(
+        1 for s in sections.values() for status, _ in s["checks"]
+        if status == "PASS"
+    )
+    out = [HEADER.format(source=source, scale=scale, passed=passed,
+                         total=total)]
+    known = [k for k in ORDER if k in sections]
+    extra = [k for k in sections if k not in TITLES]
+    for label in known + extra:
+        body = sections[label]
+        out.append(f"## {label} — {TITLES.get(label, label)}\n")
+        out.append("```")
+        out.extend(t for t in body["table"] if t.strip())
+        out.append("```\n")
+        for status, desc in body["checks"]:
+            out.append(f"- [{status}] {desc}")
+        n_pass = sum(1 for s, _ in body["checks"] if s == "PASS")
+        out.append(f"- => {n_pass}/{len(body['checks'])} shape criteria hold\n")
+    return "\n".join(out) + "\n"
+
+
+def main(argv):
+    source = argv[0] if argv else "bench_output.txt"
+    dest = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
+    with open(source) as handle:
+        sections, scale = parse(handle.read())
+    if not sections:
+        print("no experiment sections found; was the suite run with -s?")
+        return 1
+    text = render(sections, scale, source)
+    with open(dest, "w") as handle:
+        handle.write(text)
+    print(f"wrote {dest}: {len(sections)} experiments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

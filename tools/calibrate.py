@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Calibration snapshot: all shape targets from the paper in one table.
+
+Usage: python tools/calibrate.py [scale] [benchmark ...]
+
+For each benchmark prints:
+  fig2   baseline L1 TLB hit rate at 64 vs 256 entries
+  fig3/4 dominant inter-/intra-TB reuse bins (b1..b5)
+  fig5/6 fraction of intra-TB reuses within 2^6 distance,
+         interleaved (baseline sim) vs isolated (trace)
+  fig10/11 hit rate and normalized time for base/sched/part/part+share
+"""
+
+import math
+import sys
+import time
+
+from repro import BASELINE_CONFIG, L1TLBMode, TBSchedulerKind, build_gpu
+from repro.characterization import (
+    fraction_within,
+    inter_tb_bins,
+    interleaved_distances,
+    intra_tb_bins,
+    isolated_distances,
+)
+from repro.workloads import BENCHMARKS, make_benchmark
+
+SCALE = sys.argv[1] if len(sys.argv) > 1 else "small"
+NAMES = sys.argv[2:] or list(BENCHMARKS)
+
+CONFIGS = {
+    "base": BASELINE_CONFIG,
+    "sched": BASELINE_CONFIG.replace(tb_scheduler=TBSchedulerKind.TLB_AWARE),
+    "part": BASELINE_CONFIG.replace(
+        tb_scheduler=TBSchedulerKind.TLB_AWARE, l1_tlb_mode=L1TLBMode.PARTITIONED
+    ),
+    "share": BASELINE_CONFIG.replace(
+        tb_scheduler=TBSchedulerKind.TLB_AWARE,
+        l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING,
+    ),
+}
+
+
+def fmt_bins(bins):
+    return "/".join(f"{int(round(100 * f)):02d}" for f in bins.fractions)
+
+
+def main():
+    geo = {c: [] for c in CONFIGS}
+    geo["big"] = []
+    for name in NAMES:
+        t0 = time.time()
+        kernel = make_benchmark(name, scale=SCALE)
+        inter = inter_tb_bins(kernel)
+        intra = intra_tb_bins(kernel)
+        iso = isolated_distances(kernel)
+        results = {}
+        base_cycles = None
+        for cname, cfg in CONFIGS.items():
+            record = cname == "base"
+            gpu = build_gpu(cfg, record_tlb_trace=record)
+            r = gpu.run(kernel)
+            if record:
+                base_cycles = r.cycles
+                inter_hist = interleaved_distances(r.tlb_traces)
+            results[cname] = (r.avg_l1_tlb_hit_rate, r.cycles)
+        big = build_gpu(BASELINE_CONFIG.replace(l1_tlb_entries=256)).run(kernel)
+        geo["big"].append(big.cycles / base_cycles)
+        for cname in CONFIGS:
+            geo[cname].append(results[cname][1] / base_cycles)
+        print(
+            f"{name:9s} fig2 {results['base'][0]:.2f}->{big.avg_l1_tlb_hit_rate:.2f} | "
+            f"f3 {fmt_bins(inter)} f4 {fmt_bins(intra)} | "
+            f"f5<64 {fraction_within(inter_hist, 64):.2f} "
+            f"f6<64 {fraction_within(iso, 64):.2f} | "
+            + " ".join(
+                f"{c} {results[c][0]:.2f},{results[c][1] / base_cycles:.3f}"
+                for c in ("sched", "part", "share")
+            )
+            + f" [{time.time() - t0:.0f}s]"
+        )
+        sys.stdout.flush()
+    for cname, vals in geo.items():
+        gm = math.exp(sum(map(math.log, vals)) / len(vals))
+        print(f"geomean {cname}: {gm:.3f}")
+
+
+if __name__ == "__main__":
+    main()
