@@ -12,8 +12,13 @@ import dataclasses
 import enum
 from dataclasses import dataclass
 
+from ..engine.errors import ConfigError
 from ..translation.address import KB, PAGE_4K
 from ..translation.uvm import AllocationPolicy
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
 
 
 class TBSchedulerKind(enum.Enum):
@@ -131,16 +136,88 @@ class GPUConfig:
     compression_latency: float = 2.0
 
     def __post_init__(self) -> None:
-        if self.num_sms <= 0:
-            raise ValueError("num_sms must be positive")
-        if self.max_tbs_per_sm <= 0:
-            raise ValueError("max_tbs_per_sm must be positive")
-        if self.l1_tlb_entries % self.l1_tlb_assoc != 0:
-            raise ValueError("L1 TLB entries must divide by associativity")
-        if self.l2_tlb_entries % self.l2_tlb_assoc != 0:
-            raise ValueError("L2 TLB entries must divide by associativity")
+        # Every check names the offending field so a sweep script (or a
+        # supervised worker's JSON error line) can point at the exact knob.
+        positive_fields = (
+            "num_sms", "clock_mhz", "warp_size", "max_threads_per_sm",
+            "max_warps_per_sm", "max_tbs_per_sm", "shared_mem_per_sm",
+            "register_file_per_sm", "line_bytes", "l1_cache_bytes",
+            "l1_cache_assoc", "l2_slice_bytes", "l2_cache_assoc",
+            "num_partitions", "l1_tlb_entries", "l1_tlb_assoc",
+            "l2_tlb_entries", "l2_tlb_assoc", "num_walkers", "page_size",
+            "issue_interval", "tb_dispatch_interval",
+            "noc_injection_interval", "dram_interval",
+            "sharing_counter_threshold", "compression_max_ratio",
+        )
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ConfigError(
+                    f"{name} must be positive (got {getattr(self, name)!r})",
+                    field=name,
+                )
+        nonnegative_fields = (
+            "l1_cache_latency", "l2_cache_latency", "l1_tlb_latency",
+            "l2_tlb_latency", "l2_tlb_port_interval", "walk_latency",
+            "far_fault_latency", "noc_latency", "dram_latency",
+            "compression_latency",
+        )
+        for name in nonnegative_fields:
+            if getattr(self, name) < 0:
+                raise ConfigError(
+                    f"{name} must be non-negative "
+                    f"(got {getattr(self, name)!r})",
+                    field=name,
+                )
+        if self.gpu_memory_bytes is not None and self.gpu_memory_bytes <= 0:
+            raise ConfigError(
+                f"gpu_memory_bytes must be positive or None "
+                f"(got {self.gpu_memory_bytes!r})",
+                field="gpu_memory_bytes",
+            )
+        for entries, assoc, prefix in (
+            (self.l1_tlb_entries, self.l1_tlb_assoc, "l1_tlb"),
+            (self.l2_tlb_entries, self.l2_tlb_assoc, "l2_tlb"),
+        ):
+            if entries % assoc != 0:
+                raise ConfigError(
+                    f"{prefix}_entries ({entries}) must divide by "
+                    f"{prefix}_assoc ({assoc})",
+                    field=f"{prefix}_entries",
+                )
+            if not _is_pow2(assoc):
+                raise ConfigError(
+                    f"{prefix}_assoc must be a power of two (got {assoc})",
+                    field=f"{prefix}_assoc",
+                )
+            if not _is_pow2(entries // assoc):
+                raise ConfigError(
+                    f"{prefix} set count must be a power of two "
+                    f"(got {entries // assoc} sets from {entries} entries "
+                    f"x {assoc}-way)",
+                    field=f"{prefix}_entries",
+                )
+        if not _is_pow2(self.page_size):
+            raise ConfigError(
+                f"page_size must be a power of two (got {self.page_size})",
+                field="page_size",
+            )
         if self.max_threads_per_sm % self.warp_size != 0:
-            raise ValueError("max_threads_per_sm must be a multiple of warp_size")
+            raise ConfigError(
+                f"max_threads_per_sm ({self.max_threads_per_sm}) must be a "
+                f"multiple of warp_size ({self.warp_size})",
+                field="max_threads_per_sm",
+            )
+        if self.l1_tlb_mode is not L1TLBMode.BASELINE:
+            sets = self.l1_tlb_entries // self.l1_tlb_assoc
+            # TB partitions must tile the sets evenly in either direction:
+            # S/T sets per TB when T <= S, or T/S TBs per set (paper
+            # footnote 1) when partitions outnumber sets.
+            if sets % self.max_tbs_per_sm and self.max_tbs_per_sm % sets:
+                raise ConfigError(
+                    f"max_tbs_per_sm ({self.max_tbs_per_sm}) TLB partitions "
+                    f"do not divide the {sets} L1 TLB sets evenly",
+                    field="max_tbs_per_sm",
+                )
 
     @property
     def l1_tlb_sets(self) -> int:

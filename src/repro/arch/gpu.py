@@ -10,6 +10,7 @@ frees).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
@@ -39,19 +40,89 @@ class RunResult:
     tbs_completed: int
     stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     tlb_traces: Optional[List[List[tuple]]] = None
+    #: taxonomy tag when this cell failed and the sweep degraded
+    #: gracefully; ``None`` for a real result
+    failure: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
     @property
     def avg_l1_tlb_hit_rate(self) -> float:
         """Average of per-SM hit rates (how the paper reports Fig 2/10)."""
+        if self.failure is not None:
+            return float("nan")
         rates = [r for r in self.per_sm_l1_tlb_hit_rate if r is not None]
         return sum(rates) / len(rates) if rates else 0.0
 
     @property
     def overall_l1_tlb_hit_rate(self) -> float:
         """Access-weighted hit rate across all SMs."""
+        if self.failure is not None:
+            return float("nan")
         if self.l1_tlb_accesses == 0:
             return 0.0
         return self.l1_tlb_hits / self.l1_tlb_accesses
+
+    # ------------------------------------------------------------------ #
+    # Serialization (checkpoint store / supervised-worker pipe)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation (tuples become lists)."""
+        d = dataclasses.asdict(self)
+        if d["tlb_traces"] is not None:
+            d["tlb_traces"] = [
+                [list(event) for event in trace] for trace in d["tlb_traces"]
+            ]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`; validates the field set."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        missing = {
+            f.name
+            for f in dataclasses.fields(cls)
+            if f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        } - set(data)
+        if unknown or missing:
+            raise ValueError(
+                f"RunResult payload mismatch "
+                f"(unknown={sorted(unknown)}, missing={sorted(missing)})"
+            )
+        payload = dict(data)
+        if payload.get("tlb_traces") is not None:
+            payload["tlb_traces"] = [
+                [tuple(event) for event in trace]
+                for trace in payload["tlb_traces"]
+            ]
+        return cls(**payload)
+
+    @classmethod
+    def make_failed(cls, kernel_name: str, error_class: str) -> "RunResult":
+        """Placeholder result for a cell that failed terminally.
+
+        Every rate is NaN and every counter zero, so aggregate math
+        degrades (NaN-aware means skip it) instead of silently lying.
+        """
+        nan = float("nan")
+        return cls(
+            kernel_name=kernel_name,
+            cycles=nan,
+            per_sm_l1_tlb_hit_rate=[],
+            l1_tlb_hits=0,
+            l1_tlb_accesses=0,
+            l2_tlb_hits=0,
+            l2_tlb_accesses=0,
+            walks=0,
+            far_faults=0,
+            l1_cache_hit_rate=nan,
+            tbs_completed=0,
+            failure=error_class,
+        )
 
 
 class GPU:
@@ -83,6 +154,7 @@ class GPU:
         self._dispatch_scheduled = False
         for sm in sms:
             sm.on_tb_finished = self._tb_finished
+        sim.add_diagnostic_hook(self._livelock_diagnostic)
 
     # ------------------------------------------------------------------ #
     # Kernel execution
@@ -115,8 +187,22 @@ class GPU:
             sm.dispatch_tb(trace, now, self._age)
             self._age += max(len(trace.warps), 1)
 
+    def _livelock_diagnostic(self) -> str:
+        """Per-SM state summary appended to livelock reports."""
+        per_sm = ", ".join(
+            f"sm{sm.sm_id}:{len(sm.resident)}/{sm.occupancy_limit}"
+            for sm in self.sms
+        )
+        return (
+            f"TBs remaining={self._tbs_remaining} "
+            f"pending-dispatch={len(self._pending)} | resident TBs [{per_sm}]"
+        )
+
     def _tb_finished(self, sm: StreamingMultiprocessor, tb: TBRuntime) -> None:
         self._tbs_remaining -= 1
+        # a completed TB is the unit of forward progress the livelock
+        # watchdog counts
+        self.sim.note_progress()
         self.scheduler.on_tb_finished(sm, tb)
         if self._pending and not self._dispatch_scheduled:
             # Refill on the dispatcher's cadence rather than instantly:

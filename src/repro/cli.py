@@ -7,17 +7,32 @@ Commands:
 * ``report`` — regenerate every table/figure (writes EXPERIMENTS.md
   with ``--write``);
 * ``list`` — show available benchmarks, configurations, and scales.
+
+Failure contract (see DESIGN.md "Failure modes & recovery"): every
+taxonomy error exits with a class-specific nonzero code (config=3,
+workload=4, livelock=5, timeout=6, worker crash=7, checkpoint=8) and
+prints a single machine-readable JSON line on stderr, e.g.::
+
+    {"error": "livelock", "message": "...", "exit_code": 5}
+
+``--timeout`` runs cells in supervised subprocess workers with a
+wall-clock watchdog; ``report --checkpoint/--resume`` makes a long
+sweep restartable.  ``REPRO_FAULT=bench:config:kind[:times]`` injects
+deterministic faults for testing the degradation path.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .experiments.configs import CONFIGS, get_config
-from .system import build_gpu
-from .workloads import BENCHMARKS, SCALES, TABLE2, make_benchmark
+from .engine.errors import SimulationError, classify
+from .engine.faults import FaultPlan
+from .experiments.configs import CONFIGS
+from .experiments.runner import ExperimentRunner
+from .workloads import BENCHMARKS, SCALES, TABLE2
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -29,16 +44,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="workload scale preset (default: small)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell; runs the cell in a supervised "
+             "subprocess worker with retry on transient failures",
+    )
 
 
-def _run_one(benchmark: str, config_name: str, scale: str, seed: int):
-    kernel = make_benchmark(benchmark, scale=scale, seed=seed)
-    gpu = build_gpu(get_config(config_name))
-    return gpu.run(kernel)
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=args.scale,
+        seed=args.seed,
+        timeout=args.timeout,
+        fault_plan=FaultPlan.from_env(),
+        strict=True,
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = _run_one(args.benchmark, args.config, args.scale, args.seed)
+    runner = _make_runner(args)
+    result = runner.run(args.benchmark, args.config)
     print(f"benchmark        {args.benchmark} ({args.scale})")
     print(f"configuration    {args.config}")
     print(f"cycles           {result.cycles:.0f}")
@@ -53,10 +78,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
     base = None
     print(f"{'config':20s} {'L1 hit':>8s} {'cycles':>12s} {'norm.':>7s}")
     for name in args.configs:
-        result = _run_one(args.benchmark, name, args.scale, args.seed)
+        result = runner.run(args.benchmark, name)
         if base is None:
             base = result.cycles
         print(
@@ -69,7 +95,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments import report
 
-    argv = [args.scale] + (["--write"] if args.write else [])
+    argv = [args.scale]
+    if args.write:
+        argv.append("--write")
+    if args.timeout is not None:
+        argv.extend(["--timeout", str(args.timeout)])
+    if args.checkpoint is not None:
+        argv.extend(["--checkpoint", args.checkpoint])
+    if args.resume:
+        argv.append("--resume")
+    if args.strict:
+        argv.append("--strict")
+    if args.benchmarks:
+        argv.extend(["--benchmarks"] + args.benchmarks)
     return report.main(argv)
 
 
@@ -115,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--scale", default="small", choices=sorted(SCALES))
     p_rep.add_argument("--write", action="store_true",
                        help="write EXPERIMENTS.md")
+    p_rep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per cell (supervised workers)")
+    p_rep.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="append completed cells to this store")
+    p_rep.add_argument("--resume", action="store_true",
+                       help="preload the checkpoint instead of starting fresh")
+    p_rep.add_argument("--strict", action="store_true",
+                       help="abort on first failed cell instead of degrading")
+    p_rep.add_argument("--benchmarks", nargs="+", default=None,
+                       choices=BENCHMARKS, metavar="BENCH",
+                       help="restrict the sweep to these benchmarks")
     p_rep.set_defaults(func=cmd_report)
 
     p_list = sub.add_parser("list", help="list benchmarks/configs/scales")
@@ -124,7 +174,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SimulationError as exc:
+        print(
+            json.dumps(
+                {
+                    "error": classify(exc),
+                    "message": str(exc).splitlines()[0],
+                    "exit_code": exc.exit_code,
+                }
+            ),
+            file=sys.stderr,
+        )
+        return exc.exit_code
 
 
 if __name__ == "__main__":

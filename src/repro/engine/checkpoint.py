@@ -1,0 +1,163 @@
+"""Versioned on-disk checkpoint store for completed simulation cells.
+
+A store is a single append-only JSONL file:
+
+* line 1 — header: ``{"kind": "repro-checkpoint", "version": N,
+  "scale": ..., "seed": ...}``;
+* each further line — one completed cell:
+  ``{"key": [...], "crc": <crc32 of canonical result JSON>,
+  "result": {...}}``.
+
+Append-only writing makes the store crash-tolerant: a worker SIGKILLed
+mid-append leaves at most one truncated *final* line, which ``load``
+silently drops (that cell simply re-runs on resume).  Anything else that
+fails to decode — a garbled middle line, a CRC mismatch from bit rot or
+tampering, a header from a different store version or a different
+(scale, seed) sweep — raises :class:`CheckpointError`: a cache we cannot
+trust end-to-end is worse than no cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, Optional, Tuple
+
+from .errors import CheckpointError
+
+#: bump when the RunResult wire format changes incompatibly
+CHECKPOINT_VERSION = 1
+
+_HEADER_KIND = "repro-checkpoint"
+
+CellKey = Tuple[Any, ...]
+
+
+def _canonical(result: Dict[str, Any]) -> bytes:
+    return json.dumps(result, sort_keys=True, separators=(",", ":")).encode()
+
+
+class CheckpointStore:
+    """Append-only cell-result cache bound to one (scale, seed) sweep."""
+
+    def __init__(self, path: str, scale: str = "", seed: int = 0) -> None:
+        self.path = path
+        self.scale = scale
+        self.seed = seed
+        self._handle = None
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> Dict[CellKey, Dict[str, Any]]:
+        """Read every intact cell record; raise on untrustworthy files."""
+        results: Dict[CellKey, Dict[str, Any]] = {}
+        if not self.exists():
+            return results
+        # errors="replace": a flipped byte must surface as a corrupt
+        # record (CheckpointError), not a UnicodeDecodeError
+        with open(self.path, "r", errors="replace") as handle:
+            lines = handle.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            return results
+        self._check_header(lines[0])
+        for i, line in enumerate(lines[1:], start=2):
+            is_last = i == len(lines)
+            try:
+                record = json.loads(line)
+                key = tuple(record["key"])
+                result = record["result"]
+                crc = record["crc"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if is_last:
+                    # torn final append (crash mid-write): drop, re-run cell
+                    break
+                raise CheckpointError(
+                    f"{self.path}: corrupt record on line {i}"
+                ) from None
+            if zlib.crc32(_canonical(result)) != crc:
+                raise CheckpointError(
+                    f"{self.path}: checksum mismatch on line {i} "
+                    f"(key={list(key)!r})"
+                )
+            results[key] = result
+        return results
+
+    def _check_header(self, line: str) -> None:
+        try:
+            header = json.loads(line)
+            kind = header["kind"]
+            version = header["version"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            raise CheckpointError(
+                f"{self.path}: unreadable checkpoint header"
+            ) from None
+        if kind != _HEADER_KIND:
+            raise CheckpointError(
+                f"{self.path}: not a checkpoint file (kind={kind!r})"
+            )
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{self.path}: checkpoint version {version} does not match "
+                f"supported version {CHECKPOINT_VERSION}"
+            )
+        if self.scale and header.get("scale") not in ("", None, self.scale):
+            raise CheckpointError(
+                f"{self.path}: checkpoint was taken at scale "
+                f"{header.get('scale')!r}, this run is {self.scale!r}"
+            )
+        if header.get("seed") not in (None, self.seed):
+            raise CheckpointError(
+                f"{self.path}: checkpoint seed {header.get('seed')!r} does "
+                f"not match this run's seed {self.seed!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._handle is not None:
+            return
+        fresh = not self.exists() or os.path.getsize(self.path) == 0
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a")
+        if fresh:
+            header = {
+                "kind": _HEADER_KIND,
+                "version": CHECKPOINT_VERSION,
+                "scale": self.scale,
+                "seed": self.seed,
+            }
+            self._handle.write(json.dumps(header) + "\n")
+            self._handle.flush()
+
+    def append(self, key: CellKey, result: Dict[str, Any]) -> None:
+        """Durably record one completed cell (flushed immediately)."""
+        self._ensure_open()
+        record = {
+            "key": list(key),
+            "crc": zlib.crc32(_canonical(result)),
+            "result": result,
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def discard(self) -> None:
+        """Delete the on-disk file (start-fresh semantics)."""
+        self.close()
+        if self.exists():
+            os.remove(self.path)

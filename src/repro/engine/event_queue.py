@@ -95,6 +95,16 @@ class EventQueue:
             raise ValueError(f"negative delay {delay}")
         return self.schedule(self._now + delay, callback, priority)
 
+    def snapshot(self, limit: int = 5) -> list:
+        """(time, priority) of the next ``limit`` pending events, in order.
+
+        Read-only diagnostic view used for livelock reports; does not
+        advance the clock or drop cancelled entries from the heap.
+        """
+        live = [e for e in self._heap if not e.cancelled]
+        live.sort()
+        return [(e.time, e.priority) for e in live[:limit]]
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         self._drop_cancelled()

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
+from .errors import LivelockError, SimulationError
 from .event_queue import EventHandle, EventQueue
 from .stats import StatRegistry
 
-
-class SimulationError(RuntimeError):
-    """Raised when a simulation cannot make forward progress."""
+__all__ = ["SimulationError", "LivelockError", "Simulator"]
 
 
 class Simulator:
@@ -18,13 +17,31 @@ class Simulator:
     Components share one :class:`Simulator`: they schedule events through
     it and record statistics into its registry.  ``run()`` drains the event
     queue until it is empty or an optional stop predicate fires.
+
+    Livelock protection is two-tiered.  Components that represent real
+    forward progress (the GPU calls :meth:`note_progress` whenever a
+    thread block completes) reset a sliding watchdog window; if
+    ``progress_window`` events run without any progress mark the driver
+    raises :class:`LivelockError` with a diagnostic summary of the
+    pending event queue and whatever state the registered diagnostic
+    hooks report.  ``max_events`` remains as a blunt hard backstop for
+    models that never report progress at all.
     """
 
-    def __init__(self, max_events: int = 500_000_000) -> None:
+    def __init__(
+        self,
+        max_events: int = 500_000_000,
+        progress_window: int = 5_000_000,
+    ) -> None:
         self.queue = EventQueue()
         self.stats = StatRegistry()
         self.max_events = max_events
+        #: events allowed since the last :meth:`note_progress` mark
+        self.progress_window = progress_window
         self._events_run = 0
+        self._last_progress_event = 0
+        self._progress_marks = 0
+        self._diagnostic_hooks: List[Callable[[], str]] = []
 
     @property
     def now(self) -> float:
@@ -33,6 +50,43 @@ class Simulator:
     @property
     def events_run(self) -> int:
         return self._events_run
+
+    @property
+    def progress_marks(self) -> int:
+        return self._progress_marks
+
+    def note_progress(self) -> None:
+        """Record a unit of real forward progress (resets the watchdog)."""
+        self._progress_marks += 1
+        self._last_progress_event = self._events_run
+
+    def add_diagnostic_hook(self, hook: Callable[[], str]) -> None:
+        """Register a callback whose string output is appended to
+        livelock diagnostics (e.g. per-SM occupancy summaries)."""
+        self._diagnostic_hooks.append(hook)
+
+    def livelock_diagnostics(self) -> str:
+        """Summarize pending events and component state for debugging."""
+        pending = len(self.queue)
+        lines = [
+            f"t={self.queue.now:.1f} events_run={self._events_run} "
+            f"progress_marks={self._progress_marks} "
+            f"events_since_progress="
+            f"{self._events_run - self._last_progress_event}",
+            f"pending events: {pending}",
+        ]
+        head = self.queue.snapshot(limit=5)
+        if head:
+            lines.append(
+                "next events: "
+                + ", ".join(f"(t={t:.1f}, prio={p})" for t, p in head)
+            )
+        for hook in self._diagnostic_hooks:
+            try:
+                lines.append(hook())
+            except Exception as exc:  # diagnostics must never mask the error
+                lines.append(f"<diagnostic hook failed: {exc}>")
+        return "\n".join(lines)
 
     def schedule(
         self, time: float, callback: Callable[[], None], priority: int = 0
@@ -47,9 +101,10 @@ class Simulator:
     def run(self, until: Optional[Callable[[], bool]] = None) -> float:
         """Run events until the queue drains (or ``until()`` is true).
 
-        Returns the final simulation time.  Raises :class:`SimulationError`
-        if the event budget is exhausted, which almost always indicates a
-        livelock in a component model.
+        Returns the final simulation time.  Raises :class:`LivelockError`
+        if no forward progress is noted across ``progress_window`` events
+        or the hard ``max_events`` budget is exhausted — both almost
+        always indicate a livelock in a component model.
         """
         while True:
             if until is not None and until():
@@ -57,9 +112,14 @@ class Simulator:
             if not self.queue.pop_and_run():
                 break
             self._events_run += 1
+            if self._events_run - self._last_progress_event > self.progress_window:
+                raise LivelockError(
+                    f"no forward progress across {self.progress_window} "
+                    f"events\n{self.livelock_diagnostics()}"
+                )
             if self._events_run > self.max_events:
-                raise SimulationError(
-                    f"exceeded event budget ({self.max_events}); "
-                    "likely livelock at t={self.queue.now}"
+                raise LivelockError(
+                    f"exceeded event budget ({self.max_events}); likely "
+                    f"livelock\n{self.livelock_diagnostics()}"
                 )
         return self.queue.now

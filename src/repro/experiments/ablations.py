@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..arch.config import (
@@ -23,8 +23,14 @@ from ..arch.config import (
     WarpSchedulerKind,
 )
 from ..characterization import warp_reuse_summary
-from ..system import build_gpu
-from .runner import ExperimentRunner, ShapeCheck, geomean
+from ..engine.errors import SimulationError, classify
+from .runner import (
+    ExperimentRunner,
+    ShapeCheck,
+    collect_failures,
+    failed_rows,
+    geomean,
+)
 
 
 @dataclass
@@ -32,6 +38,7 @@ class SharingAblationResult:
     #: normalized time per benchmark per sharing policy
     times: Dict[str, Dict[str, float]]
     hits: Dict[str, Dict[str, float]]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         policies = [p.value for p in SharingPolicyKind]
@@ -42,6 +49,7 @@ class SharingAblationResult:
                     f"{self.times[b][p]:11.3f}" for p in policies
                 )
             )
+        lines.extend(failed_rows(self.failures))
         lines.append(
             f"{'geomean':10s} " + " ".join(
                 f"{geomean([self.times[b][p] for b in self.times]):11.3f}"
@@ -79,31 +87,43 @@ class SharingAblationResult:
 def run_sharing_ablation(runner: ExperimentRunner) -> SharingAblationResult:
     times: Dict[str, Dict[str, float]] = {}
     hits: Dict[str, Dict[str, float]] = {}
+    failures: Dict[str, str] = {}
     for b in runner.benchmarks:
-        base = runner.run(b, "baseline").cycles
-        times[b] = {}
-        hits[b] = {}
+        base = runner.run(b, "baseline")
+        if not collect_failures(failures, b, base):
+            continue
+        per_policy = {}
         for policy in SharingPolicyKind:
             config = BASELINE_CONFIG.replace(
                 tb_scheduler=TBSchedulerKind.TLB_AWARE,
                 l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING,
                 sharing_policy=policy,
             )
-            result = build_gpu(config).run(runner.kernel(b))
-            times[b][policy.value] = result.cycles / base
-            hits[b][policy.value] = result.avg_l1_tlb_hit_rate
-    return SharingAblationResult(times, hits)
+            per_policy[policy.value] = runner.run_config(
+                b, config, f"sharing_{policy.value}"
+            )
+        if not collect_failures(failures, b, *per_policy.values()):
+            continue
+        times[b] = {
+            p: r.cycles / base.cycles for p, r in per_policy.items()
+        }
+        hits[b] = {
+            p: r.avg_l1_tlb_hit_rate for p, r in per_policy.items()
+        }
+    return SharingAblationResult(times, hits, failures)
 
 
 @dataclass
 class GeometrySweepResult:
     #: mean hit rate across benchmarks per (entries, assoc)
     hit_rates: Dict[tuple, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [f"{'geometry':>10s} {'mean L1 hit':>12s}"]
         for (entries, assoc), hit in sorted(self.hit_rates.items()):
             lines.append(f"{entries:5d}x{assoc:<4d} {hit:12.3f}")
+        lines.extend(failed_rows(self.failures))
         return "\n".join(lines)
 
     def shape_checks(self) -> List[ShapeCheck]:
@@ -131,31 +151,41 @@ def run_geometry_sweep(
     geometries=((64, 4), (128, 4), (256, 4), (512, 8)),
 ) -> GeometrySweepResult:
     hit_rates = {}
+    failures: Dict[str, str] = {}
     for entries, assoc in geometries:
         config = BASELINE_CONFIG.replace(
             l1_tlb_entries=entries, l1_tlb_assoc=assoc
         )
         rates = []
         for b in runner.benchmarks:
-            result = build_gpu(config).run(runner.kernel(b))
+            result = runner.run_config(b, config, f"geo_{entries}x{assoc}")
+            if not collect_failures(failures, b, result):
+                continue
             rates.append(result.avg_l1_tlb_hit_rate)
-        hit_rates[(entries, assoc)] = sum(rates) / len(rates)
-    return GeometrySweepResult(hit_rates)
+        if rates:
+            hit_rates[(entries, assoc)] = sum(rates) / len(rates)
+    return GeometrySweepResult(hit_rates, failures)
 
 
 @dataclass
 class WarpReuseResult:
     #: per-benchmark share of intra-TB reuse that is intra-warp
     warp_share: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [f"{'benchmark':10s} {'intra-warp share':>17s}"]
         for b, share in self.warp_share.items():
             lines.append(f"{b:10s} {share:17.2f}")
+        lines.extend(failed_rows(self.failures))
         return "\n".join(lines)
 
     def shape_checks(self) -> List[ShapeCheck]:
-        mean = sum(self.warp_share.values()) / len(self.warp_share)
+        mean = (
+            sum(self.warp_share.values()) / len(self.warp_share)
+            if self.warp_share
+            else 0.0
+        )
         return [
             ShapeCheck(
                 "a substantial share of intra-TB reuse is intra-warp "
@@ -167,12 +197,18 @@ class WarpReuseResult:
 
 
 def run_warp_reuse(runner: ExperimentRunner) -> WarpReuseResult:
-    return WarpReuseResult(
-        {
-            b: warp_reuse_summary(runner.kernel(b)).warp_share_of_tb_reuse
-            for b in runner.benchmarks
-        }
-    )
+    share: Dict[str, float] = {}
+    failures: Dict[str, str] = {}
+    for b in runner.benchmarks:
+        try:
+            share[b] = warp_reuse_summary(
+                runner.kernel(b)
+            ).warp_share_of_tb_reuse
+        except SimulationError as exc:
+            if runner.strict:
+                raise
+            failures[b] = classify(exc)
+    return WarpReuseResult(share, failures)
 
 
 @dataclass
@@ -183,6 +219,7 @@ class WarpSchedulerAblationResult:
     times: Dict[str, float]
     hits_gto: Dict[str, float]
     hits_aware: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -194,6 +231,7 @@ class WarpSchedulerAblationResult:
                 f"{b:10s} {self.hits_gto[b]:8.3f} {self.hits_aware[b]:10.3f} "
                 f"{self.times[b]:15.3f}"
             )
+        lines.extend(failed_rows(self.failures))
         lines.append(
             f"{'geomean':10s} {'':8s} {'':10s} "
             f"{geomean(self.times.values()):15.3f}"
@@ -219,13 +257,16 @@ def run_warp_scheduler_ablation(
     times: Dict[str, float] = {}
     hits_gto: Dict[str, float] = {}
     hits_aware: Dict[str, float] = {}
+    failures: Dict[str, str] = {}
     aware_cfg = BASELINE_CONFIG.replace(
         warp_scheduler=WarpSchedulerKind.TRANSLATION_AWARE
     )
     for b in runner.benchmarks:
         base = runner.run(b, "baseline")
-        aware = build_gpu(aware_cfg).run(runner.kernel(b))
+        aware = runner.run_config(b, aware_cfg, "warp_aware")
+        if not collect_failures(failures, b, base, aware):
+            continue
         times[b] = aware.cycles / base.cycles
         hits_gto[b] = base.avg_l1_tlb_hit_rate
         hits_aware[b] = aware.avg_l1_tlb_hit_rate
-    return WarpSchedulerAblationResult(times, hits_gto, hits_aware)
+    return WarpSchedulerAblationResult(times, hits_gto, hits_aware, failures)

@@ -14,10 +14,16 @@ as in the paper).  Claims reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
-from .runner import ExperimentRunner, ShapeCheck, arithmetic_mean
+from .runner import (
+    ExperimentRunner,
+    ShapeCheck,
+    arithmetic_mean,
+    collect_failures,
+    failed_rows,
+)
 
 PARTITION_WINNERS = ("atax", "bicg", "nw", "mvt")
 
@@ -27,6 +33,7 @@ class Fig10Result:
     baseline: Dict[str, float]
     partition: Dict[str, float]
     sharing: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -38,6 +45,7 @@ class Fig10Result:
                 f"{b:10s} {self.baseline[b]:9.3f} {self.partition[b]:10.3f} "
                 f"{self.sharing[b]:11.3f}"
             )
+        lines.extend(failed_rows(self.failures))
         lines.append(
             f"{'mean':10s} {arithmetic_mean(self.baseline.values()):9.3f} "
             f"{arithmetic_mean(self.partition.values()):10.3f} "
@@ -102,11 +110,17 @@ class Fig10Result:
 
 
 def run(runner: ExperimentRunner) -> Fig10Result:
-    return Fig10Result(
-        {b: runner.run(b, "baseline").avg_l1_tlb_hit_rate
-         for b in runner.benchmarks},
-        {b: runner.run(b, "partition").avg_l1_tlb_hit_rate
-         for b in runner.benchmarks},
-        {b: runner.run(b, "partition_sharing").avg_l1_tlb_hit_rate
-         for b in runner.benchmarks},
-    )
+    baseline: Dict[str, float] = {}
+    partition: Dict[str, float] = {}
+    sharing: Dict[str, float] = {}
+    failures: Dict[str, str] = {}
+    for b in runner.benchmarks:
+        rb = runner.run(b, "baseline")
+        rp = runner.run(b, "partition")
+        rs = runner.run(b, "partition_sharing")
+        if not collect_failures(failures, b, rb, rp, rs):
+            continue
+        baseline[b] = rb.avg_l1_tlb_hit_rate
+        partition[b] = rp.avg_l1_tlb_hit_rate
+        sharing[b] = rs.avg_l1_tlb_hit_rate
+    return Fig10Result(baseline, partition, sharing, failures)

@@ -14,10 +14,16 @@ partitioning + set sharing.  Claims reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
-from .runner import ExperimentRunner, ShapeCheck, geomean
+from .runner import (
+    ExperimentRunner,
+    ShapeCheck,
+    collect_failures,
+    failed_rows,
+    geomean,
+)
 
 
 @dataclass
@@ -28,6 +34,7 @@ class Fig11Result:
     sharing: Dict[str, float]
     #: absolute baseline cycles (for reference)
     baseline_cycles: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -39,6 +46,7 @@ class Fig11Result:
                 f"{b:10s} {self.sched[b]:7.3f} {self.partition[b]:10.3f} "
                 f"{self.sharing[b]:11.3f}"
             )
+        lines.extend(failed_rows(self.failures))
         lines.append(
             f"{'geomean':10s} {geomean(self.sched.values()):7.3f} "
             f"{geomean(self.partition.values()):10.3f} "
@@ -91,11 +99,20 @@ class Fig11Result:
 
 
 def run(runner: ExperimentRunner) -> Fig11Result:
-    base = {b: runner.run(b, "baseline").cycles for b in runner.benchmarks}
-    return Fig11Result(
-        {b: runner.run(b, "sched").cycles / base[b] for b in runner.benchmarks},
-        {b: runner.run(b, "partition").cycles / base[b] for b in runner.benchmarks},
-        {b: runner.run(b, "partition_sharing").cycles / base[b]
-         for b in runner.benchmarks},
-        base,
-    )
+    sched: Dict[str, float] = {}
+    partition: Dict[str, float] = {}
+    sharing: Dict[str, float] = {}
+    base: Dict[str, float] = {}
+    failures: Dict[str, str] = {}
+    for b in runner.benchmarks:
+        rb = runner.run(b, "baseline")
+        rsc = runner.run(b, "sched")
+        rp = runner.run(b, "partition")
+        rsh = runner.run(b, "partition_sharing")
+        if not collect_failures(failures, b, rb, rsc, rp, rsh):
+            continue
+        base[b] = rb.cycles
+        sched[b] = rsc.cycles / rb.cycles
+        partition[b] = rp.cycles / rb.cycles
+        sharing[b] = rsh.cycles / rb.cycles
+    return Fig11Result(sched, partition, sharing, base, failures)

@@ -9,10 +9,16 @@ speedup — i.e. the approaches are complementary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
-from .runner import ExperimentRunner, ShapeCheck, geomean
+from .runner import (
+    ExperimentRunner,
+    ShapeCheck,
+    collect_failures,
+    failed_rows,
+    geomean,
+)
 
 
 @dataclass
@@ -21,11 +27,13 @@ class Fig12Result:
     speedup: Dict[str, float]
     compression_cycles: Dict[str, float]
     combined_cycles: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [f"{'benchmark':10s} {'speedup':>8s}"]
         for b, s in self.speedup.items():
             lines.append(f"{b:10s} {s:8.3f}")
+        lines.extend(failed_rows(self.failures))
         lines.append(f"{'geomean':10s} {geomean(self.speedup.values()):8.3f}")
         return "\n".join(lines)
 
@@ -52,10 +60,13 @@ def run(runner: ExperimentRunner) -> Fig12Result:
     speedup = {}
     comp_cycles = {}
     combined_cycles = {}
+    failures: Dict[str, str] = {}
     for b in runner.benchmarks:
-        comp = runner.run(b, "compression").cycles
-        combined = runner.run(b, "comp_ours").cycles
-        comp_cycles[b] = comp
-        combined_cycles[b] = combined
-        speedup[b] = comp / combined
-    return Fig12Result(speedup, comp_cycles, combined_cycles)
+        rc = runner.run(b, "compression")
+        ro = runner.run(b, "comp_ours")
+        if not collect_failures(failures, b, rc, ro):
+            continue
+        comp_cycles[b] = rc.cycles
+        combined_cycles[b] = ro.cycles
+        speedup[b] = rc.cycles / ro.cycles
+    return Fig12Result(speedup, comp_cycles, combined_cycles, failures)

@@ -9,16 +9,24 @@ Paper claims reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
-from .runner import ExperimentRunner, ShapeCheck, arithmetic_mean
+from .runner import (
+    ExperimentRunner,
+    ShapeCheck,
+    arithmetic_mean,
+    collect_failures,
+    failed_rows,
+)
 
 
 @dataclass
 class Fig2Result:
     hit_64: Dict[str, float]
     hit_256: Dict[str, float]
+    #: benchmarks whose cells failed (graceful degradation)
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def rows(self) -> List[tuple]:
         return [
@@ -29,6 +37,7 @@ class Fig2Result:
         lines = [f"{'benchmark':10s} {'64-entry':>9s} {'256-entry':>10s}"]
         for b, h64, h256 in self.rows():
             lines.append(f"{b:10s} {h64:9.3f} {h256:10.3f}")
+        lines.extend(failed_rows(self.failures))
         lines.append(
             f"{'mean':10s} {arithmetic_mean(self.hit_64.values()):9.3f} "
             f"{arithmetic_mean(self.hit_256.values()):10.3f}"
@@ -67,7 +76,12 @@ class Fig2Result:
 def run(runner: ExperimentRunner) -> Fig2Result:
     hit64 = {}
     hit256 = {}
+    failures: Dict[str, str] = {}
     for b in runner.benchmarks:
-        hit64[b] = runner.run(b, "baseline").avg_l1_tlb_hit_rate
-        hit256[b] = runner.run(b, "l1_256").avg_l1_tlb_hit_rate
-    return Fig2Result(hit64, hit256)
+        r64 = runner.run(b, "baseline")
+        r256 = runner.run(b, "l1_256")
+        if not collect_failures(failures, b, r64, r256):
+            continue
+        hit64[b] = r64.avg_l1_tlb_hit_rate
+        hit256[b] = r256.avg_l1_tlb_hit_rate
+    return Fig2Result(hit64, hit256, failures)

@@ -9,11 +9,12 @@ Paper claims reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..characterization import ReuseBins, inter_tb_bins
-from .runner import ExperimentRunner, ShapeCheck
+from ..engine.errors import SimulationError, classify
+from .runner import ExperimentRunner, ShapeCheck, failed_rows
 
 MATRIX_BENCHMARKS = ("atax", "bicg", "gemm", "mvt")
 IRREGULAR_BENCHMARKS = ("bfs", "color", "mis", "nw", "pagerank", "3dconv")
@@ -22,6 +23,7 @@ IRREGULAR_BENCHMARKS = ("bfs", "color", "mis", "nw", "pagerank", "3dconv")
 @dataclass
 class Fig3Result:
     bins: Dict[str, ReuseBins]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -31,6 +33,7 @@ class Fig3Result:
             lines.append(
                 f"{b:10s} " + " ".join(f"{100*f:6.1f}" for f in bins.fractions)
             )
+        lines.extend(failed_rows(self.failures))
         return "\n".join(lines)
 
     def shape_checks(self) -> List[ShapeCheck]:
@@ -72,6 +75,13 @@ class Fig3Result:
 
 
 def run(runner: ExperimentRunner) -> Fig3Result:
-    return Fig3Result(
-        {b: inter_tb_bins(runner.kernel(b)) for b in runner.benchmarks}
-    )
+    bins: Dict[str, ReuseBins] = {}
+    failures: Dict[str, str] = {}
+    for b in runner.benchmarks:
+        try:
+            bins[b] = inter_tb_bins(runner.kernel(b))
+        except SimulationError as exc:
+            if runner.strict:
+                raise
+            failures[b] = classify(exc)
+    return Fig3Result(bins, failures)

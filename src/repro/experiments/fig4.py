@@ -10,17 +10,19 @@ Paper claims reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..characterization import ReuseBins, inter_tb_bins, intra_tb_bins
-from .runner import ExperimentRunner, ShapeCheck
+from ..engine.errors import SimulationError, classify
+from .runner import ExperimentRunner, ShapeCheck, failed_rows
 
 
 @dataclass
 class Fig4Result:
     bins: Dict[str, ReuseBins]
     inter_bins: Dict[str, ReuseBins]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -30,6 +32,7 @@ class Fig4Result:
             lines.append(
                 f"{b:10s} " + " ".join(f"{100*f:6.1f}" for f in bins.fractions)
             )
+        lines.extend(failed_rows(self.failures))
         return "\n".join(lines)
 
     def mean_intensity_proxy(self, bins: ReuseBins) -> float:
@@ -76,7 +79,16 @@ class Fig4Result:
 
 
 def run(runner: ExperimentRunner) -> Fig4Result:
-    return Fig4Result(
-        {b: intra_tb_bins(runner.kernel(b)) for b in runner.benchmarks},
-        {b: inter_tb_bins(runner.kernel(b)) for b in runner.benchmarks},
-    )
+    intra: Dict[str, ReuseBins] = {}
+    inter: Dict[str, ReuseBins] = {}
+    failures: Dict[str, str] = {}
+    for b in runner.benchmarks:
+        try:
+            kernel = runner.kernel(b)
+            intra[b] = intra_tb_bins(kernel)
+            inter[b] = inter_tb_bins(kernel)
+        except SimulationError as exc:
+            if runner.strict:
+                raise
+            failures[b] = classify(exc)
+    return Fig4Result(intra, inter, failures)

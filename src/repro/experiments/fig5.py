@@ -10,12 +10,12 @@ hit rates of Fig 2 are poor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..engine.stats import Histogram
 from ..characterization import cdf_points, fraction_within, interleaved_distances
-from .runner import ExperimentRunner, ShapeCheck
+from .runner import ExperimentRunner, ShapeCheck, collect_failures, failed_rows
 
 LONG_DISTANCE_BENCHMARKS = ("bfs", "mis", "nw", "atax", "bicg", "mvt")
 L1_CAPACITY = 64
@@ -24,6 +24,7 @@ L1_CAPACITY = 64
 @dataclass
 class Fig5Result:
     histograms: Dict[str, Histogram]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def cdf(self, benchmark: str) -> List[Tuple[int, float]]:
         return cdf_points(self.histograms[benchmark])
@@ -38,6 +39,7 @@ class Fig5Result:
         lines = [f"{'benchmark':10s} {'reuses<=2^6':>12s} {'reuses>2^6':>11s}"]
         for b, frac in self.within_capacity().items():
             lines.append(f"{b:10s} {frac:12.3f} {1 - frac:11.3f}")
+        lines.extend(failed_rows(self.failures))
         return "\n".join(lines)
 
     def shape_checks(self) -> List[ShapeCheck]:
@@ -58,7 +60,10 @@ class Fig5Result:
 
 def run(runner: ExperimentRunner) -> Fig5Result:
     histograms = {}
+    failures: Dict[str, str] = {}
     for b in runner.benchmarks:
         result = runner.run(b, "baseline", record_tlb_trace=True)
+        if not collect_failures(failures, b, result):
+            continue
         histograms[b] = interleaved_distances(result.tlb_traces or [])
-    return Fig5Result(histograms)
+    return Fig5Result(histograms, failures)

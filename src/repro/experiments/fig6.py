@@ -9,12 +9,13 @@ shorter distances for most benchmarks — the motivation for partitioning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..engine.errors import SimulationError, classify
 from ..engine.stats import Histogram
 from ..characterization import fraction_within, isolated_distances
-from .runner import ExperimentRunner, ShapeCheck
+from .runner import ExperimentRunner, ShapeCheck, failed_rows
 from .fig5 import L1_CAPACITY, Fig5Result
 
 
@@ -22,6 +23,7 @@ from .fig5 import L1_CAPACITY, Fig5Result
 class Fig6Result:
     histograms: Dict[str, Histogram]
     interference: Dict[str, Histogram]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def within_capacity(self) -> Dict[str, float]:
         return {
@@ -40,6 +42,7 @@ class Fig6Result:
         ]
         for b in iso:
             lines.append(f"{b:10s} {iso[b]:15.3f} {inter.get(b, 0.0):17.3f}")
+        lines.extend(failed_rows(self.failures))
         return "\n".join(lines)
 
     def shape_checks(self) -> List[ShapeCheck]:
@@ -71,7 +74,15 @@ def run(runner: ExperimentRunner, fig5: Fig5Result = None) -> Fig6Result:
         from . import fig5 as fig5_mod
 
         fig5 = fig5_mod.run(runner)
-    return Fig6Result(
-        {b: isolated_distances(runner.kernel(b)) for b in runner.benchmarks},
-        fig5.histograms,
-    )
+    isolated: Dict[str, Histogram] = {}
+    failures: Dict[str, str] = dict(fig5.failures)
+    for b in runner.benchmarks:
+        if b in failures:
+            continue
+        try:
+            isolated[b] = isolated_distances(runner.kernel(b))
+        except SimulationError as exc:
+            if runner.strict:
+                raise
+            failures[b] = classify(exc)
+    return Fig6Result(isolated, fig5.histograms, failures)

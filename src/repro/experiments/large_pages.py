@@ -12,11 +12,18 @@ Claims reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..translation.pagesize import fragmentation_from_addresses
-from .runner import ExperimentRunner, ShapeCheck, arithmetic_mean, geomean
+from .runner import (
+    ExperimentRunner,
+    ShapeCheck,
+    arithmetic_mean,
+    collect_failures,
+    failed_rows,
+    geomean,
+)
 
 
 @dataclass
@@ -27,6 +34,7 @@ class LargePageResult:
     ours_2m_time: Dict[str, float]
     #: huge-page internal fragmentation (utilization of committed bytes)
     utilization: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -38,6 +46,7 @@ class LargePageResult:
                 f"{b:10s} {self.hit_4k[b]:7.3f} {self.hit_2m[b]:7.3f} "
                 f"{self.ours_2m_time[b]:13.3f} {self.utilization[b]:8.3f}"
             )
+        lines.extend(failed_rows(self.failures))
         lines.append(
             f"{'mean/geo':10s} {arithmetic_mean(self.hit_4k.values()):7.3f} "
             f"{arithmetic_mean(self.hit_2m.values()):7.3f} "
@@ -86,12 +95,16 @@ def run(runner: ExperimentRunner) -> LargePageResult:
     hit2 = {}
     ours_time = {}
     util = {}
+    failures: Dict[str, str] = {}
     for b in runner.benchmarks:
-        hit4[b] = runner.run(b, "baseline").avg_l1_tlb_hit_rate
+        base = runner.run(b, "baseline")
         huge_base = runner.run(b, "huge_baseline")
         huge_ours = runner.run(b, "huge_ours")
+        if not collect_failures(failures, b, base, huge_base, huge_ours):
+            continue
+        hit4[b] = base.avg_l1_tlb_hit_rate
         hit2[b] = huge_base.avg_l1_tlb_hit_rate
         ours_time[b] = huge_ours.cycles / huge_base.cycles
         report = fragmentation_from_addresses(runner.kernel(b).addresses())
         util[b] = report.utilization
-    return LargePageResult(hit4, hit2, ours_time, util)
+    return LargePageResult(hit4, hit2, ours_time, util, failures)

@@ -11,14 +11,19 @@ still helps when far faults dominate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..arch.config import BASELINE_CONFIG, L1TLBMode, TBSchedulerKind
-from ..system import build_gpu
 from ..translation.address import PAGE_4K
 from ..workloads import traced_footprint_bytes
-from .runner import ExperimentRunner, ShapeCheck, geomean
+from .runner import (
+    ExperimentRunner,
+    ShapeCheck,
+    collect_failures,
+    failed_rows,
+    geomean,
+)
 
 #: far-fault cost used for this study (the headline runs use 0 =
 #: steady state); ~20 us at 1.4 GHz is a conservative migration cost,
@@ -34,6 +39,7 @@ class OversubscriptionResult:
     fault_rate: Dict[str, float]
     #: ours-vs-baseline time under the same cap
     ours_speedup: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -45,6 +51,7 @@ class OversubscriptionResult:
                 f"{b:10s} {self.slowdown[b]:16.3f} "
                 f"{self.fault_rate[b]:12.2f} {self.ours_speedup[b]:13.3f}"
             )
+        lines.extend(failed_rows(self.failures))
         lines.append(
             f"{'geomean':10s} {geomean(self.slowdown.values()):16.3f} "
             f"{'':>12s} {geomean(self.ours_speedup.values()):13.3f}"
@@ -78,6 +85,7 @@ def run(
     slowdown = {}
     fault_rate = {}
     ours_speedup = {}
+    failures: Dict[str, str] = {}
     for b in benchmarks:
         if b not in runner.benchmarks:
             continue
@@ -92,12 +100,14 @@ def run(
             tb_scheduler=TBSchedulerKind.TLB_AWARE,
             l1_tlb_mode=L1TLBMode.PARTITIONED_SHARING,
         )
-        uncapped = build_gpu(uncapped_cfg).run(kernel)
-        capped = build_gpu(capped_cfg).run(kernel)
-        ours = build_gpu(ours_cfg).run(kernel)
+        uncapped = runner.run_config(b, uncapped_cfg, "oversub_uncapped")
+        capped = runner.run_config(b, capped_cfg, "oversub_capped")
+        ours = runner.run_config(b, ours_cfg, "oversub_ours")
+        if not collect_failures(failures, b, uncapped, capped, ours):
+            continue
         slowdown[b] = capped.cycles / uncapped.cycles
         fault_rate[b] = 1000.0 * capped.far_faults / max(
             capped.l1_tlb_accesses, 1
         )
         ours_speedup[b] = capped.cycles / ours.cycles
-    return OversubscriptionResult(slowdown, fault_rate, ours_speedup)
+    return OversubscriptionResult(slowdown, fault_rate, ours_speedup, failures)

@@ -4,14 +4,25 @@
 and Figs 2–6, 10–12 plus the large-page study, prints each alongside its
 shape checks (the paper's qualitative claims), and can write the whole
 thing as a markdown report (used to refresh EXPERIMENTS.md).
+
+The report is the degraded surface of the supervised execution layer:
+cells that fail terminally (livelock, timeout, crashed worker, bad
+config) render as ``FAILED(<reason>)`` rows instead of aborting the
+run, a whole experiment that cannot produce a result becomes a FAILED
+section, and ``--checkpoint``/``--resume`` make an interrupted sweep
+restartable without re-simulating completed cells.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..engine.errors import SimulationError, classify
+from ..engine.faults import FaultPlan
+from ..workloads import BENCHMARKS, SCALES
 from . import (
     ablations,
     fig2,
@@ -37,6 +48,8 @@ class ExperimentReport:
     title: str
     table: str
     checks: List[ShapeCheck]
+    #: taxonomy tag when the whole experiment failed to produce a result
+    failure: Optional[str] = None
 
     def render(self) -> str:
         lines = [f"## {self.experiment_id} — {self.title}", ""]
@@ -54,26 +67,79 @@ def run_all(
     scale: str = "small",
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
-) -> List[ExperimentReport]:
-    """Regenerate every experiment; returns one report per figure/table."""
+    benchmarks: Optional[Tuple[str, ...]] = None,
+    timeout: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    strict: bool = False,
+    runner: Optional[ExperimentRunner] = None,
+) -> Tuple[List[ExperimentReport], ExperimentRunner]:
+    """Regenerate every experiment.
+
+    Returns (one report per figure/table, the runner used) — the runner
+    exposes per-cell failures and checkpoint statistics for the caller.
+    By default the run is non-strict: failed cells degrade to
+    ``FAILED(<reason>)`` markers instead of raising.
+    """
 
     def note(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
-    runner = ExperimentRunner(scale=scale, seed=seed)
+    if runner is None:
+        runner = ExperimentRunner(
+            scale=scale,
+            seed=seed,
+            benchmarks=benchmarks or BENCHMARKS,
+            timeout=timeout,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            fault_plan=fault_plan,
+            strict=strict,
+        )
+    if runner.cells_restored:
+        note(f"resumed {runner.cells_restored} cells from checkpoint")
     reports: List[ExperimentReport] = []
 
-    note("Table II (benchmarks)")
-    t2 = run_table2(scale, seed)
-    reports.append(
-        ExperimentReport("Table II", "Benchmarks", t2.format_table(),
-                         t2.shape_checks())
+    def guarded(
+        exp_id: str, title: str, produce: Callable[[], ExperimentReport]
+    ) -> None:
+        """Run one experiment; degrade to a FAILED section when the
+        whole experiment (not just single cells) cannot complete."""
+        note(exp_id)
+        try:
+            reports.append(produce())
+        except SimulationError as exc:
+            if runner.strict:
+                raise
+            tag = classify(exc)
+            reports.append(
+                ExperimentReport(
+                    exp_id,
+                    title,
+                    f"FAILED({tag}): {str(exc).splitlines()[0]}",
+                    [ShapeCheck("experiment produced a result", False, tag)],
+                    failure=tag,
+                )
+            )
+
+    guarded(
+        "Table II",
+        "Benchmarks",
+        lambda: (
+            lambda t2: ExperimentReport(
+                "Table II", "Benchmarks", t2.format_table(), t2.shape_checks()
+            )
+        )(run_table2(scale, seed, strict=runner.strict)),
     )
-    note("Table III (configuration)")
-    reports.append(
-        ExperimentReport("Table III", "Baseline configuration",
-                         format_table3(), table3_checks())
+    guarded(
+        "Table III",
+        "Baseline configuration",
+        lambda: ExperimentReport(
+            "Table III", "Baseline configuration", format_table3(),
+            table3_checks(),
+        ),
     )
 
     figures: List[Tuple[str, str, Callable]] = [
@@ -102,17 +168,25 @@ def run_all(
          ablations.run_warp_reuse),
     ]
     for exp_id, title, run_fn in figures:
-        note(exp_id)
-        result = run_fn(runner)
-        reports.append(
-            ExperimentReport(
-                exp_id, title, result.format_table(), result.shape_checks()
-            )
+        guarded(
+            exp_id,
+            title,
+            lambda run_fn=run_fn, exp_id=exp_id, title=title: (
+                lambda result: ExperimentReport(
+                    exp_id, title, result.format_table(),
+                    result.shape_checks(),
+                )
+            )(run_fn(runner)),
         )
-    return reports
+    runner.close()
+    return reports, runner
 
 
-def render_markdown(reports: List[ExperimentReport], scale: str) -> str:
+def render_markdown(
+    reports: List[ExperimentReport],
+    scale: str,
+    runner: Optional[ExperimentRunner] = None,
+) -> str:
     total = sum(len(r.checks) for r in reports)
     passed = sum(sum(1 for c in r.checks if c.passed) for r in reports)
     header = [
@@ -129,21 +203,79 @@ def render_markdown(reports: List[ExperimentReport], scale: str) -> str:
         f"**Overall: {passed}/{total} shape checks hold.**",
         "",
     ]
+    degraded = degradation_summary(reports, runner)
+    if degraded:
+        header.extend(degraded + [""])
     return "\n".join(header) + "\n\n" + "\n\n".join(r.render() for r in reports) + "\n"
 
 
+def degradation_summary(
+    reports: List[ExperimentReport],
+    runner: Optional[ExperimentRunner] = None,
+) -> List[str]:
+    """Markdown lines describing everything that failed, or [] if clean."""
+    lines: List[str] = []
+    failed_experiments = [r for r in reports if r.failure is not None]
+    cell_lines = runner.failure_summary() if runner is not None else []
+    if not failed_experiments and not cell_lines:
+        return lines
+    lines.append("**Degraded run** — some cells/experiments failed and were")
+    lines.append("skipped; everything else is reported normally:")
+    lines.append("")
+    for report in failed_experiments:
+        lines.append(
+            f"- experiment {report.experiment_id}: FAILED({report.failure})"
+        )
+    for cell in cell_lines:
+        lines.append(f"- cell {cell}")
+    return lines
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.report",
+        description="regenerate every table/figure of the paper",
+    )
+    parser.add_argument("scale", nargs="?", default="small",
+                        choices=sorted(SCALES))
+    parser.add_argument("--write", action="store_true",
+                        help="write EXPERIMENTS.md")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock seconds per cell (enables "
+                             "subprocess supervision)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="append completed cells to this store")
+    parser.add_argument("--resume", action="store_true",
+                        help="preload the checkpoint instead of starting "
+                             "fresh (requires --checkpoint)")
+    parser.add_argument("--strict", action="store_true",
+                        help="abort on the first failed cell instead of "
+                             "degrading")
+    parser.add_argument("--benchmarks", nargs="+", default=None,
+                        choices=BENCHMARKS, metavar="BENCH",
+                        help="restrict the sweep to these benchmarks")
+    return parser
+
+
 def main(argv: List[str]) -> int:
-    scale = "small"
-    write = False
-    for arg in argv:
-        if arg == "--write":
-            write = True
-        else:
-            scale = arg
-    reports = run_all(scale, progress=lambda m: print(f"[running] {m}", flush=True))
-    text = render_markdown(reports, scale)
+    args = build_parser().parse_args(argv)
+    if args.resume and not args.checkpoint:
+        args.checkpoint = f".repro_checkpoint.{args.scale}.jsonl"
+    reports, runner = run_all(
+        args.scale,
+        seed=args.seed,
+        progress=lambda m: print(f"[running] {m}", flush=True),
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        timeout=args.timeout,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        fault_plan=FaultPlan.from_env(),
+        strict=args.strict,
+    )
+    text = render_markdown(reports, args.scale, runner)
     print(text)
-    if write:
+    if args.write:
         with open("EXPERIMENTS.md", "w") as handle:
             handle.write(text)
         print("wrote EXPERIMENTS.md")

@@ -1,10 +1,25 @@
-"""Experiment runner: simulate (benchmark × config) cells with caching.
+"""Experiment runner: simulate (benchmark × config) cells with caching,
+supervision, checkpoint/resume, and graceful degradation.
 
 All figure modules funnel their simulations through one
 :class:`ExperimentRunner`, which memoizes :class:`~repro.arch.gpu.RunResult`
-per (benchmark, config-name, scale, seed, trace-recording) — Fig 2, 10
+per (benchmark, config-tag, trace-recording, occupancy) — Fig 2, 10
 and 11 share baseline runs, so a full paper regeneration simulates each
 cell exactly once.
+
+On top of the in-memory memo the runner layers the resilience features
+of :mod:`repro.engine.supervision`:
+
+* ``supervised=True`` (automatic whenever a ``timeout`` or
+  ``fault_plan`` is set) runs each cell in an isolated subprocess
+  worker with a wall-clock watchdog and retries transient failures with
+  exponential backoff;
+* ``checkpoint_path`` appends every completed cell to a versioned
+  on-disk store; ``resume=True`` preloads it, so a killed sweep picks
+  up where it left off without re-simulating finished cells;
+* ``strict=False`` converts terminal cell failures into placeholder
+  :meth:`RunResult.make_failed` results — the figure modules render
+  those cells as ``FAILED(<reason>)`` instead of aborting the report.
 """
 
 from __future__ import annotations
@@ -13,23 +28,81 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..arch.config import GPUConfig
 from ..arch.gpu import RunResult
 from ..arch.kernel import Kernel
-from ..system import build_gpu
+from ..engine.checkpoint import CheckpointStore
+from ..engine.errors import SimulationError, classify
+from ..engine.faults import FaultPlan
+from ..engine.supervision import (
+    CellFailure,
+    CellSpec,
+    RetryPolicy,
+    Supervisor,
+    simulate_cell,
+)
 from ..workloads import BENCHMARKS, make_benchmark
 from .configs import get_config
+
+CellKey = Tuple
 
 
 @dataclass
 class ExperimentRunner:
-    """Caching simulation front-end for the figure modules."""
+    """Caching, supervising simulation front-end for the figure modules."""
 
     scale: str = "small"
     seed: int = 0
     benchmarks: Tuple[str, ...] = BENCHMARKS
+    #: wall-clock budget per cell attempt (seconds); implies supervision
+    timeout: Optional[float] = None
+    #: retry/backoff schedule for transient failures (supervised mode)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: versioned on-disk cell cache; every completed cell is appended
+    checkpoint_path: Optional[str] = None
+    #: preload the checkpoint instead of starting fresh
+    resume: bool = False
+    #: deterministic fault injection (tests / CI smoke); implies supervision
+    fault_plan: Optional[FaultPlan] = None
+    #: run cells in isolated subprocess workers; ``None`` = auto
+    supervised: Optional[bool] = None
+    #: raise on cell failure (True) or degrade to FAILED placeholders
+    strict: bool = True
     _kernels: Dict[str, Kernel] = field(default_factory=dict)
-    _results: Dict[Tuple[str, str, bool], RunResult] = field(default_factory=dict)
+    _results: Dict[CellKey, RunResult] = field(default_factory=dict)
+    _failed: Dict[CellKey, RunResult] = field(default_factory=dict)
+    #: terminal failures keyed like results (inspect after a degraded run)
+    failures: Dict[CellKey, CellFailure] = field(default_factory=dict)
+    #: cells actually simulated (excludes memo and checkpoint hits)
+    cells_simulated: int = 0
+    #: cells restored from the on-disk checkpoint
+    cells_restored: int = 0
 
+    def __post_init__(self) -> None:
+        if self.supervised is None:
+            self.supervised = (
+                self.timeout is not None or self.fault_plan is not None
+            )
+        self._supervisor = Supervisor(
+            timeout=self.timeout,
+            retry=self.retry,
+            fault_plan=self.fault_plan,
+        )
+        self._store: Optional[CheckpointStore] = None
+        if self.checkpoint_path is not None:
+            self._store = CheckpointStore(
+                self.checkpoint_path, scale=self.scale, seed=self.seed
+            )
+            if self.resume:
+                for key, payload in self._store.load().items():
+                    self._results[tuple(key)] = RunResult.from_dict(payload)
+                    self.cells_restored += 1
+            elif self._store.exists():
+                self._store.discard()
+
+    # ------------------------------------------------------------------ #
+    # Workload construction
+    # ------------------------------------------------------------------ #
     def kernel(self, benchmark: str) -> Kernel:
         if benchmark not in self._kernels:
             self._kernels[benchmark] = make_benchmark(
@@ -37,6 +110,9 @@ class ExperimentRunner:
             )
         return self._kernels[benchmark]
 
+    # ------------------------------------------------------------------ #
+    # Cell execution
+    # ------------------------------------------------------------------ #
     def run(
         self,
         benchmark: str,
@@ -44,18 +120,68 @@ class ExperimentRunner:
         record_tlb_trace: bool = False,
         occupancy_override: Optional[int] = None,
     ) -> RunResult:
-        """Simulate one cell (memoized)."""
-        key = (benchmark, config_name, record_tlb_trace)
-        if occupancy_override is not None:
-            key = key + (occupancy_override,)  # type: ignore[assignment]
-        if key not in self._results:
-            gpu = build_gpu(
-                get_config(config_name), record_tlb_trace=record_tlb_trace
+        """Simulate one named-configuration cell (memoized)."""
+        return self.run_config(
+            benchmark,
+            get_config(config_name),
+            config_name,
+            record_tlb_trace=record_tlb_trace,
+            occupancy_override=occupancy_override,
+        )
+
+    def run_config(
+        self,
+        benchmark: str,
+        config: GPUConfig,
+        tag: str,
+        record_tlb_trace: bool = False,
+        occupancy_override: Optional[int] = None,
+    ) -> RunResult:
+        """Simulate one cell for an explicit config (memoized by ``tag``).
+
+        This is the single funnel every experiment goes through —
+        ad-hoc configs (ablations, oversubscription) get the same
+        supervision, checkpointing, and degradation as named ones.
+        """
+        spec = CellSpec(
+            benchmark=benchmark,
+            config=config,
+            config_tag=tag,
+            scale=self.scale,
+            seed=self.seed,
+            record_tlb_trace=record_tlb_trace,
+            occupancy_override=occupancy_override,
+        )
+        key = spec.key
+        if key in self._results:
+            return self._results[key]
+        if key in self._failed:
+            return self._failed[key]
+        try:
+            result = self._execute(spec)
+        except SimulationError as exc:
+            failure = CellFailure(
+                error_class=classify(exc),
+                message=str(exc),
+                attempts=getattr(exc, "attempts", 1),
+                elapsed=getattr(exc, "elapsed", 0.0),
             )
-            self._results[key] = gpu.run(
-                self.kernel(benchmark), occupancy_override=occupancy_override
-            )
-        return self._results[key]
+            self.failures[key] = failure
+            if self.strict:
+                raise
+            placeholder = RunResult.make_failed(benchmark, failure.error_class)
+            self._failed[key] = placeholder
+            return placeholder
+        self.cells_simulated += 1
+        self._results[key] = result
+        if self._store is not None:
+            self._store.append(key, result.to_dict())
+        return result
+
+    def _execute(self, spec: CellSpec) -> RunResult:
+        if self.supervised:
+            return RunResult.from_dict(self._supervisor.run_cell(spec))
+        return simulate_cell(spec)
 
     def run_all(
         self, config_name: str, record_tlb_trace: bool = False
@@ -65,9 +191,66 @@ class ExperimentRunner:
             for b in self.benchmarks
         }
 
+    # ------------------------------------------------------------------ #
+    # Degradation bookkeeping
+    # ------------------------------------------------------------------ #
+    def failure_for(self, benchmark: str, tag: str) -> Optional[CellFailure]:
+        for key, failure in self.failures.items():
+            if key[0] == benchmark and key[1] == tag:
+                return failure
+        return None
+
+    def failure_summary(self) -> List[str]:
+        """One human-readable line per failed cell (dedup trace variants)."""
+        lines: List[str] = []
+        seen = set()
+        for key, f in sorted(self.failures.items(), key=lambda kv: kv[0][:2]):
+            cell = (key[0], key[1])
+            if cell in seen:
+                continue
+            seen.add(cell)
+            lines.append(
+                f"({key[0]}, {key[1]}) {f.marker} after {f.attempts} "
+                f"attempt(s): {f.message.splitlines()[0]}"
+            )
+        return lines
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
+
+
+# ---------------------------------------------------------------------- #
+# Shared helpers for the figure modules
+# ---------------------------------------------------------------------- #
+def collect_failures(
+    failures: Dict[str, str], benchmark: str, *results: RunResult
+) -> bool:
+    """Record any failed cell for ``benchmark``; True when all are ok.
+
+    The figure modules call this at their funnel point so a failed cell
+    drops out of the aggregate math and surfaces as a ``FAILED(...)``
+    table row instead of poisoning (or aborting) the whole figure.
+    """
+    ok = True
+    for result in results:
+        if result.failure is not None:
+            failures.setdefault(benchmark, result.failure)
+            ok = False
+    return ok
+
+
+def failed_rows(failures: Dict[str, str], width: int = 10) -> List[str]:
+    """``FAILED(<reason>)`` table rows for every degraded benchmark."""
+    return [
+        f"{b:{width}s} FAILED({reason})"
+        for b, reason in sorted(failures.items())
+    ]
+
 
 def geomean(values: Iterable[float]) -> float:
-    vals = [v for v in values]
+    """Geometric mean; NaN entries (failed cells) are skipped."""
+    vals = [v for v in values if not math.isnan(v)]
     if not vals:
         return 0.0
     if any(v <= 0 for v in vals):
@@ -76,7 +259,8 @@ def geomean(values: Iterable[float]) -> float:
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:
-    vals = list(values)
+    """Arithmetic mean; NaN entries (failed cells) are skipped."""
+    vals = [v for v in values if not math.isnan(v)]
     return sum(vals) / len(vals) if vals else 0.0
 
 

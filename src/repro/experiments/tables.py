@@ -8,10 +8,11 @@ checked line by line against the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..arch.config import BASELINE_CONFIG, GPUConfig
+from ..engine.errors import SimulationError, classify
 from ..translation.address import KB
 from ..workloads import BENCHMARKS, TABLE2, make_benchmark, traced_footprint_gb
 from .runner import ShapeCheck
@@ -20,6 +21,7 @@ from .runner import ShapeCheck
 @dataclass
 class Table2Result:
     traced_footprint_gb: Dict[str, float]
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [
@@ -28,40 +30,55 @@ class Table2Result:
         ]
         for name in BENCHMARKS:
             meta = TABLE2[name]
+            if name in self.failures:
+                traced = f"FAILED({self.failures[name]})"
+            else:
+                traced = f"{self.traced_footprint_gb.get(name, 0.0):10.4f}"
             lines.append(
                 f"{name:9s} {meta.application:40s} {meta.suite:10s} "
                 f"{meta.input_name:9s} {meta.paper_footprint_gb:9.2f} "
-                f"{self.traced_footprint_gb[name]:10.4f}"
+                f"{traced}"
             )
         return "\n".join(lines)
 
     def shape_checks(self) -> List[ShapeCheck]:
+        footprints = self.traced_footprint_gb
         return [
             ShapeCheck(
                 "all 10 Table II benchmarks generate non-empty traces",
-                all(v > 0 for v in self.traced_footprint_gb.values()),
-                f"{len(self.traced_footprint_gb)} benchmarks",
+                len(footprints) == len(BENCHMARKS)
+                and all(v > 0 for v in footprints.values()),
+                f"{len(footprints)} benchmarks"
+                + (f", failed: {sorted(self.failures)}" if self.failures else ""),
             ),
             ShapeCheck(
                 "every benchmark's traced footprint exceeds the 64-entry "
                 "L1 TLB reach (TLB pressure is real at reduced scale)",
-                all(
-                    gb * (1 << 30) > 64 * 4096
-                    for gb in self.traced_footprint_gb.values()
+                bool(footprints)
+                and all(
+                    gb * (1 << 30) > 64 * 4096 for gb in footprints.values()
                 ),
                 f"min footprint "
-                f"{min(self.traced_footprint_gb.values()) * 1024:.2f} MB",
+                f"{min(footprints.values(), default=0.0) * 1024:.2f} MB",
             ),
         ]
 
 
-def run_table2(scale: str = "small", seed: int = 0) -> Table2Result:
-    return Table2Result(
-        {
-            name: traced_footprint_gb(make_benchmark(name, scale, seed))
-            for name in BENCHMARKS
-        }
-    )
+def run_table2(
+    scale: str = "small", seed: int = 0, strict: bool = True
+) -> Table2Result:
+    footprints: Dict[str, float] = {}
+    failures: Dict[str, str] = {}
+    for name in BENCHMARKS:
+        try:
+            footprints[name] = traced_footprint_gb(
+                make_benchmark(name, scale, seed)
+            )
+        except SimulationError as exc:
+            if strict:
+                raise
+            failures[name] = classify(exc)
+    return Table2Result(footprints, failures)
 
 
 def format_table3(config: GPUConfig = BASELINE_CONFIG) -> str:

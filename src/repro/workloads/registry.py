@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from ..arch.kernel import Kernel, validate_kernel
+from ..engine.errors import WorkloadError
 from ..translation.address import GB, PAGE_4K
 from .graph_kernels import make_graph_kernel
 from .polybench import make_3dconv, make_gemm, make_matvec
@@ -72,15 +73,28 @@ _FACTORIES: Dict[str, Callable[[str, int], Kernel]] = {
 
 
 def make_benchmark(name: str, scale: str = "small", seed: int = 0) -> Kernel:
-    """Build a benchmark kernel trace by Table II name."""
+    """Build a benchmark kernel trace by Table II name.
+
+    Raises :class:`~repro.engine.errors.WorkloadError` (a ``ValueError``
+    subclass) for unknown names and trace-validation failures, so
+    supervised sweeps classify workload problems distinctly.
+    """
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        raise ValueError(
+        raise WorkloadError(
             f"unknown benchmark {name!r}; choose from {BENCHMARKS}"
         ) from None
-    kernel = factory(scale, seed)
-    validate_kernel(kernel)
+    try:
+        kernel = factory(scale, seed)
+        validate_kernel(kernel)
+    except WorkloadError:
+        raise
+    except ValueError as exc:
+        raise WorkloadError(
+            f"benchmark {name!r} at scale {scale!r} produced an invalid "
+            f"trace: {exc}"
+        ) from exc
     return kernel
 
 

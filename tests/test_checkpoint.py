@@ -1,0 +1,205 @@
+"""Tests for the versioned checkpoint store and runner resume path."""
+
+import json
+
+import pytest
+
+from repro.arch.gpu import RunResult
+from repro.engine.checkpoint import CHECKPOINT_VERSION, CheckpointStore
+from repro.engine.errors import CheckpointError
+from repro.engine.faults import corrupt_file
+from repro.experiments.runner import ExperimentRunner
+
+
+def make_result(name="bfs", cycles=123.0, traces=None):
+    return RunResult(
+        kernel_name=name,
+        cycles=cycles,
+        per_sm_l1_tlb_hit_rate=[0.5, 0.75],
+        l1_tlb_hits=10,
+        l1_tlb_accesses=20,
+        l2_tlb_hits=5,
+        l2_tlb_accesses=10,
+        walks=5,
+        far_faults=0,
+        l1_cache_hit_rate=0.4,
+        tbs_completed=4,
+        stats={"tlb": {"hits": 10}},
+        tlb_traces=traces,
+    )
+
+
+class TestRunResultSerialization:
+    def test_round_trip(self):
+        result = make_result(traces=[[(0, 1.0, True)], [(4096, 2.0, False)]])
+        back = RunResult.from_dict(result.to_dict())
+        assert back == result
+        assert back.tlb_traces[0][0] == (0, 1.0, True)
+
+    def test_round_trip_through_json(self):
+        result = make_result(traces=[[(0, 1.0, True)]])
+        back = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.cycles == result.cycles
+        assert back.tlb_traces == result.tlb_traces
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = make_result().to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            RunResult.from_dict(payload)
+
+    def test_from_dict_rejects_missing_fields(self):
+        payload = make_result().to_dict()
+        del payload["cycles"]
+        with pytest.raises(ValueError, match="cycles"):
+            RunResult.from_dict(payload)
+
+    def test_make_failed_placeholder(self):
+        failed = RunResult.make_failed("bfs", "livelock")
+        assert not failed.ok
+        assert failed.failure == "livelock"
+        assert failed.cycles != failed.cycles  # NaN
+        assert failed.avg_l1_tlb_hit_rate != failed.avg_l1_tlb_hit_rate
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CheckpointStore(path, scale="micro", seed=0)
+        key = ("bfs", "baseline", False, None)
+        store.append(key, make_result().to_dict())
+        store.append(("nw", "sched", False, None), make_result("nw").to_dict())
+        store.close()
+
+        loaded = CheckpointStore(path, scale="micro", seed=0).load()
+        assert set(loaded) == {key, ("nw", "sched", False, None)}
+        assert RunResult.from_dict(loaded[key]) == make_result()
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "nope.jsonl"))
+        assert store.load() == {}
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CheckpointStore(path, scale="micro", seed=0)
+        store.append(("bfs", "baseline", False, None), make_result().to_dict())
+        store.append(("nw", "sched", False, None), make_result("nw").to_dict())
+        store.close()
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # SIGKILL mid-append: the final record is half-written
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) - len(data.splitlines()[-1]) // 2 - 1])
+        loaded = CheckpointStore(path, scale="micro", seed=0).load()
+        assert set(loaded) == {("bfs", "baseline", False, None)}
+
+    def test_corrupt_middle_record_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CheckpointStore(path, scale="micro", seed=0)
+        store.append(("bfs", "baseline", False, None), make_result().to_dict())
+        store.append(("nw", "sched", False, None), make_result("nw").to_dict())
+        store.close()
+        corrupt_file(path)  # deterministic mid-file byte flip
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path, scale="micro", seed=0).load()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CheckpointStore(path, scale="micro", seed=0)
+        store.append(("bfs", "baseline", False, None), make_result().to_dict())
+        store.close()
+        lines = open(path).read().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = CHECKPOINT_VERSION + 1
+        lines[0] = json.dumps(header)
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="version"):
+            CheckpointStore(path, scale="micro", seed=0).load()
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        open(path, "w").write('{"some": "other file"}\n')
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+
+    def test_scale_and_seed_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CheckpointStore(path, scale="micro", seed=0)
+        store.append(("bfs", "baseline", False, None), make_result().to_dict())
+        store.close()
+        with pytest.raises(CheckpointError, match="scale"):
+            CheckpointStore(path, scale="small", seed=0).load()
+        with pytest.raises(CheckpointError, match="seed"):
+            CheckpointStore(path, scale="micro", seed=7).load()
+
+    def test_crc_detects_tampered_result(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CheckpointStore(path, scale="micro", seed=0)
+        store.append(("bfs", "baseline", False, None), make_result().to_dict())
+        store.append(("nw", "sched", False, None), make_result("nw").to_dict())
+        store.close()
+        lines = open(path).read().splitlines()
+        record = json.loads(lines[1])
+        record["result"]["cycles"] = 1.0  # tamper without updating crc
+        lines[1] = json.dumps(record)
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="checksum"):
+            CheckpointStore(path, scale="micro", seed=0).load()
+
+    def test_discard_removes_file(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        store = CheckpointStore(path)
+        store.append(("k",), make_result().to_dict())
+        store.discard()
+        assert not store.exists()
+
+
+class TestRunnerResume:
+    def test_resume_skips_resimulation(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        first = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path
+        )
+        result = first.run("nw", "baseline")
+        assert first.cells_simulated == 1
+        first.close()
+
+        second = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path,
+            resume=True,
+        )
+        assert second.cells_restored == 1
+        restored = second.run("nw", "baseline")
+        assert second.cells_simulated == 0  # no re-simulation
+        assert restored == result
+        second.close()
+
+    def test_fresh_run_discards_stale_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        first = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path
+        )
+        first.run("nw", "baseline")
+        first.close()
+
+        second = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path,
+            resume=False,
+        )
+        assert second.cells_restored == 0
+        second.run("nw", "baseline")
+        assert second.cells_simulated == 1
+        second.close()
+
+    def test_resume_rejects_other_sweeps_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        first = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path
+        )
+        first.run("nw", "baseline")
+        first.close()
+        with pytest.raises(CheckpointError):
+            ExperimentRunner(
+                scale="micro", seed=3, benchmarks=("nw",),
+                checkpoint_path=path, resume=True,
+            )

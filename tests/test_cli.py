@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -50,3 +52,46 @@ def test_unknown_config_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+class TestFailureContract:
+    """Taxonomy errors exit with class-specific codes + a JSON line."""
+
+    def test_injected_livelock_exit_code_and_json(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "nw:baseline:livelock")
+        code = main(["run", "nw", "--scale", "micro"])
+        assert code == 5
+        err = capsys.readouterr().err.strip().splitlines()[-1]
+        payload = json.loads(err)
+        assert payload["error"] == "livelock"
+        assert payload["exit_code"] == 5
+        assert "livelock" in payload["message"]
+
+    def test_injected_crash_exhausts_retries(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "nw:baseline:crash")
+        code = main(["run", "nw", "--scale", "micro"])
+        assert code == 7
+        payload = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+        assert payload["error"] == "worker_crash"
+
+    def test_crash_recovered_by_retry(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "nw:baseline:crash:1")
+        assert main(["run", "nw", "--scale", "micro"]) == 0
+        assert "TBs completed" in capsys.readouterr().out
+
+    def test_timeout_flag_supervises(self, capsys):
+        assert main(["run", "nw", "--scale", "micro", "--timeout", "120"]) == 0
+        assert "TBs completed" in capsys.readouterr().out
+
+
+class TestReportFlags:
+    def test_report_parser_accepts_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["report", "--scale", "micro", "--timeout", "5",
+             "--checkpoint", "x.jsonl", "--resume", "--strict",
+             "--benchmarks", "nw", "bfs"]
+        )
+        assert args.timeout == 5.0
+        assert args.checkpoint == "x.jsonl"
+        assert args.resume and args.strict
+        assert args.benchmarks == ["nw", "bfs"]

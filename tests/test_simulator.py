@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch.kernel import MemoryInstruction, WarpTrace
 from repro.arch.warp import WarpRuntime
-from repro.engine.simulator import SimulationError, Simulator
+from repro.engine.simulator import LivelockError, SimulationError, Simulator
 
 
 class TestSimulator:
@@ -104,3 +104,71 @@ class TestWarpRuntime:
         warp.next_transaction()
         warp.transaction_done()
         assert warp.instructions_remaining == 4
+
+
+class TestForwardProgressWatchdog:
+    def _respawning_sim(self, **kwargs):
+        sim = Simulator(**kwargs)
+
+        def respawn():
+            sim.schedule_after(1.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        return sim
+
+    def test_no_progress_raises_livelock(self):
+        sim = self._respawning_sim(progress_window=50)
+        with pytest.raises(LivelockError):
+            sim.run()
+
+    def test_progress_marks_reset_the_window(self):
+        sim = Simulator(progress_window=50)
+        seen = []
+
+        def tick():
+            seen.append(sim.events_run)
+            sim.note_progress()           # real work every event
+            if len(seen) < 200:
+                sim.schedule_after(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()                         # 200 events >> window of 50
+        assert len(seen) == 200
+        assert sim.progress_marks == 200
+
+    def test_livelock_error_carries_diagnostics(self):
+        sim = self._respawning_sim(progress_window=10)
+        sim.add_diagnostic_hook(lambda: "component: 3 TBs stuck")
+        with pytest.raises(LivelockError) as info:
+            sim.run()
+        message = str(info.value)
+        assert "pending events" in message
+        assert "next events" in message
+        assert "component: 3 TBs stuck" in message
+
+    def test_failing_diagnostic_hook_does_not_mask_livelock(self):
+        sim = self._respawning_sim(progress_window=10)
+
+        def broken():
+            raise RuntimeError("hook exploded")
+
+        sim.add_diagnostic_hook(broken)
+        with pytest.raises(LivelockError) as info:
+            sim.run()
+        assert "diagnostic hook failed" in str(info.value)
+
+    def test_livelock_is_simulation_error(self):
+        assert issubclass(LivelockError, SimulationError)
+        assert LivelockError.error_class == "livelock"
+
+    def test_max_events_backstop_still_enforced(self):
+        # even a model that dutifully notes progress cannot run forever
+        sim = Simulator(max_events=100, progress_window=10)
+
+        def busy():
+            sim.note_progress()
+            sim.schedule_after(1.0, busy)
+
+        sim.schedule(0.0, busy)
+        with pytest.raises(LivelockError):
+            sim.run()
