@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from ..engine.simulator import Simulator
+from ..telemetry.tracer import CAT_KERNEL
 from ..translation.address import PageGeometry
 from .config import GPUConfig
 from .kernel import Kernel
@@ -40,6 +41,9 @@ class RunResult:
     tbs_completed: int
     stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     tlb_traces: Optional[List[List[tuple]]] = None
+    #: columnar time-series snapshot from the telemetry sampler
+    #: (``TimeSeriesSampler.to_dict()``); ``None`` when sampling is off
+    timeseries: Optional[Dict] = None
     #: taxonomy tag when this cell failed and the sweep degraded
     #: gracefully; ``None`` for a real result
     failure: Optional[str] = None
@@ -220,11 +224,19 @@ class GPU:
 
     def run(self, kernel: Kernel, occupancy_override: Optional[int] = None) -> RunResult:
         """Launch ``kernel``, run to completion, and summarize."""
+        start = self.sim.now
         self.launch(kernel, occupancy_override)
         self.sim.run()
         if self._tbs_remaining != 0:
             raise RuntimeError(
                 f"simulation drained with {self._tbs_remaining} TBs unfinished"
+            )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.complete(
+                CAT_KERNEL, kernel.name, start, self.sim.now - start,
+                tracer.track("kernel"),
+                {"tbs": len(kernel.tbs), "sms": len(self.sms)},
             )
         result = self._collect(kernel)
         self._kernel = None
@@ -269,4 +281,9 @@ class GPU:
             ),
             stats=self.sim.stats.dump(),
             tlb_traces=traces,
+            timeseries=(
+                self.sim.sampler.to_dict()
+                if self.sim.sampler is not None
+                else None
+            ),
         )

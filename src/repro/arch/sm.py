@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..engine.simulator import Simulator
 from ..memory.subsystem import SMMemoryPath
+from ..telemetry.tracer import CAT_TB, CAT_WARP
 from ..translation.address import PageGeometry
 from ..translation.service import SharedTranslationService
 from ..translation.tlb import SetAssociativeTLB
@@ -30,8 +31,9 @@ from .thread_block import TBIDAllocator, TBRuntime
 from .warp import WarpRuntime
 from .warp_scheduler import GTOIssuePort, TranslationAwareIssuePort
 
-#: (warp, line_vaddr, is_write, hw_tb_id) waiting on one VPN translation
-_Waiter = Tuple[WarpRuntime, int, bool, int]
+#: (warp, line_vaddr, is_write, hw_tb_id, miss_time) waiting on one VPN
+#: translation; miss_time feeds the telemetry stall-interval spans
+_Waiter = Tuple[WarpRuntime, int, bool, int, float]
 
 
 class StreamingMultiprocessor:
@@ -73,6 +75,16 @@ class StreamingMultiprocessor:
         self._merged = self.stats.counter("translation_mshr_merged")
         self._pending: Dict[int, List[_Waiter]] = {}
         self.tlb_trace: Optional[List[Tuple[int, int]]] = [] if record_tlb_trace else None
+        # telemetry: cache None when disabled so per-event cost is one
+        # attribute check; lanes are one per SM plus one stall lane, and
+        # one per TB slot (allocated lazily — hw ids recycle, so slot
+        # lanes carry back-to-back, non-overlapping TB spans)
+        tracer = sim.tracer
+        self._tracer = tracer if tracer.enabled else None
+        if self._tracer is not None:
+            self._track = tracer.track(f"SM{sm_id}")
+            self._stall_track = tracer.track(f"SM{sm_id} stalls")
+            self._slot_tracks: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Kernel / TB lifecycle
@@ -109,6 +121,11 @@ class StreamingMultiprocessor:
         tb.attach_warps(warps)
         self.resident[hw_id] = tb
         self._dispatched.inc()
+        if self._tracer is not None:
+            self._tracer.instant(
+                CAT_TB, "tb_dispatch", now, self._track,
+                {"tb": trace.tb_index, "hw": hw_id},
+            )
         started = False
         for warp in warps:
             if warp.done:
@@ -126,6 +143,21 @@ class StreamingMultiprocessor:
         self.resident.pop(tb.hw_tb_id, None)
         self.tbid_alloc.release(tb.hw_tb_id)
         self._completed.inc()
+        tracer = self._tracer
+        if tracer is not None:
+            slot = self._slot_tracks.get(tb.hw_tb_id)
+            if slot is None:
+                slot = tracer.track(f"SM{self.sm_id}.slot{tb.hw_tb_id}")
+                self._slot_tracks[tb.hw_tb_id] = slot
+            tracer.complete(
+                CAT_TB,
+                f"tb{tb.trace.tb_index}",
+                tb.dispatch_time,
+                self.sim.now - tb.dispatch_time,
+                slot,
+                {"tb": tb.trace.tb_index, "hw": tb.hw_tb_id,
+                 "warps": len(tb.warps)},
+            )
         hook = getattr(self.l1_tlb, "on_tb_finished", None)
         if hook is not None:
             hook(tb.hw_tb_id)
@@ -171,10 +203,10 @@ class StreamingMultiprocessor:
             return
         waiters = self._pending.get(vpn)
         if waiters is not None:
-            waiters.append((warp, vaddr, is_write, hw_tb_id))
+            waiters.append((warp, vaddr, is_write, hw_tb_id, now))
             self._merged.inc()
             return
-        self._pending[vpn] = [(warp, vaddr, is_write, hw_tb_id)]
+        self._pending[vpn] = [(warp, vaddr, is_write, hw_tb_id, now)]
         self._translations_sent.inc()
         arrival_at_l2 = self.memory.noc.traverse(self.sm_id, lookup_done)
         self.translation.translate(
@@ -187,14 +219,21 @@ class StreamingMultiprocessor:
 
     def _translation_filled(self, vpn: int, ppn: int) -> None:
         now = self.sim.now
+        tracer = self._tracer
         filled_for = set()
-        for warp, vaddr, is_write, hw_tb_id in self._pending.pop(vpn, ()):
+        for warp, vaddr, is_write, hw_tb_id, miss_time in self._pending.pop(vpn, ()):
             # Fill once per requesting TB: under TB-id partitioning each
             # TB's fill lands in its own set(s) (the paper's "redundant
             # entries" effect); under VPN indexing later fills refresh.
             if hw_tb_id not in filled_for:
                 self.l1_tlb.insert(vpn, ppn, hw_tb_id)
                 filled_for.add(hw_tb_id)
+            if tracer is not None:
+                tracer.complete(
+                    CAT_WARP, "tlb_stall", miss_time, now - miss_time,
+                    self._stall_track,
+                    {"tb": warp.tb.trace.tb_index, "vpn": vpn},
+                )
             paddr = self.geometry.address(ppn, self.geometry.offset(vaddr))
             self._data_access(warp, paddr, is_write, now)
 

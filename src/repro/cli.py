@@ -6,7 +6,16 @@ Commands:
 * ``compare`` — run a benchmark across several configurations;
 * ``report`` — regenerate every table/figure (writes EXPERIMENTS.md
   with ``--write``);
+* ``trace`` — summarize a Chrome trace file written by ``--trace``;
 * ``list`` — show available benchmarks, configurations, and scales.
+
+Every simulating command (``run``, ``compare``, ``report``) accepts the
+same execution-resilience flags (``--timeout``, ``--checkpoint``,
+``--resume``) and — except ``report``, which samples via its
+time-resolved figure — the telemetry flags ``--trace PATH`` /
+``--sample-every N``.  Traces load in ``chrome://tracing`` or
+https://ui.perfetto.dev; a ``<trace>.manifest.json`` provenance record
+is written next to every trace and checkpoint.
 
 Failure contract (see DESIGN.md "Failure modes & recovery"): every
 taxonomy error exits with a class-specific nonzero code (config=3,
@@ -44,21 +53,72 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="workload scale preset (default: small)",
     )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
+
+
+def _add_exec_group(parser: argparse.ArgumentParser) -> None:
+    """Execution-resilience flags shared by run, compare, and report."""
+    group = parser.add_argument_group("execution resilience")
+    group.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
-        help="wall-clock budget per cell; runs the cell in a supervised "
+        help="wall-clock budget per cell; runs each cell in a supervised "
              "subprocess worker with retry on transient failures",
+    )
+    group.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="append completed cells to this store",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="preload the checkpoint instead of starting fresh "
+             "(defaults --checkpoint to .repro_checkpoint.<scale>.jsonl)",
     )
 
 
+def _add_telemetry_group(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by run and compare."""
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace",
+        help="write a Chrome trace-event JSON file (open in "
+             "chrome://tracing or ui.perfetto.dev)",
+    )
+    group.add_argument(
+        "--sample-every", type=int, default=None, metavar="CYCLES",
+        dest="sample_every",
+        help="snapshot TLB/walker counters every N cycles into a "
+             "columnar time series",
+    )
+
+
+def _default_resume_path(args: argparse.Namespace) -> None:
+    if args.resume and not args.checkpoint:
+        args.checkpoint = f".repro_checkpoint.{args.scale}.jsonl"
+
+
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    _default_resume_path(args)
     return ExperimentRunner(
         scale=args.scale,
         seed=args.seed,
         timeout=args.timeout,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
         fault_plan=FaultPlan.from_env(),
         strict=True,
+        trace_path=getattr(args, "trace", None),
+        sample_every=getattr(args, "sample_every", None),
     )
+
+
+def _finish_runner(runner: ExperimentRunner) -> None:
+    """Merge traces / write manifests and report the artifact paths."""
+    import os
+
+    runner.close()
+    # a fully-resumed run simulates nothing, hence writes no trace
+    if runner.trace_path is not None and os.path.exists(runner.trace_path):
+        print(f"trace            {runner.trace_path}")
+        print(f"manifest         {runner.trace_path}.manifest.json")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -74,6 +134,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"far faults       {result.far_faults}")
     print(f"L1 cache hits    {result.l1_cache_hit_rate:.4f}")
     print(f"TBs completed    {result.tbs_completed}")
+    if result.timeseries is not None:
+        print(f"samples          {len(result.timeseries['cycles'])} "
+              f"(every {result.timeseries['interval']} cycles)")
+    _finish_runner(runner)
     return 0
 
 
@@ -89,12 +153,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{name:20s} {result.avg_l1_tlb_hit_rate:8.3f} "
             f"{result.cycles:12.0f} {result.cycles / base:7.3f}"
         )
+    _finish_runner(runner)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments import report
 
+    _default_resume_path(args)
     argv = [args.scale]
     if args.write:
         argv.append("--write")
@@ -109,6 +175,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.benchmarks:
         argv.extend(["--benchmarks"] + args.benchmarks)
     return report.main(argv)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import load_trace, summarize_trace
+
+    try:
+        payload = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_trace(payload).format(top=args.top))
+    return 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -135,6 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one benchmark")
     _add_common(p_run)
+    _add_exec_group(p_run)
+    _add_telemetry_group(p_run)
     p_run.add_argument(
         "--config", default="baseline", choices=sorted(CONFIGS),
         help="named machine configuration (default: baseline)",
@@ -143,6 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare configurations")
     _add_common(p_cmp)
+    _add_exec_group(p_cmp)
+    _add_telemetry_group(p_cmp)
     p_cmp.add_argument(
         "--configs", nargs="+", default=["baseline", "partition_sharing"],
         choices=sorted(CONFIGS),
@@ -151,21 +233,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", help="regenerate all tables/figures")
     p_rep.add_argument("--scale", default="small", choices=sorted(SCALES))
+    _add_exec_group(p_rep)
     p_rep.add_argument("--write", action="store_true",
                        help="write EXPERIMENTS.md")
-    p_rep.add_argument("--timeout", type=float, default=None,
-                       metavar="SECONDS",
-                       help="wall-clock budget per cell (supervised workers)")
-    p_rep.add_argument("--checkpoint", default=None, metavar="PATH",
-                       help="append completed cells to this store")
-    p_rep.add_argument("--resume", action="store_true",
-                       help="preload the checkpoint instead of starting fresh")
     p_rep.add_argument("--strict", action="store_true",
                        help="abort on first failed cell instead of degrading")
     p_rep.add_argument("--benchmarks", nargs="+", default=None,
                        choices=BENCHMARKS, metavar="BENCH",
                        help="restrict the sweep to these benchmarks")
     p_rep.set_defaults(func=cmd_report)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a Chrome trace written by --trace"
+    )
+    p_trace.add_argument("file", help="trace-event JSON file")
+    p_trace.add_argument("--top", type=int, default=5,
+                         help="rows in the top-N tables (default: 5)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_list = sub.add_parser("list", help="list benchmarks/configs/scales")
     p_list.set_defaults(func=cmd_list)

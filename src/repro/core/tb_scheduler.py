@@ -16,11 +16,17 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..telemetry.tracer import CAT_SCHED
 from .status_table import TLBStatusTable
 
 
 class TBScheduler:
     """Scheduler interface used by :class:`repro.arch.gpu.GPU`."""
+
+    #: telemetry state; ``None`` tracer keeps decisions un-instrumented
+    _tracer = None
+    _clock = None
+    _track = 0
 
     def select_sm(self, sms: Sequence) -> Optional[object]:
         """Return the SM to receive the next TB, or ``None`` if no SM has
@@ -29,6 +35,16 @@ class TBScheduler:
 
     def on_tb_finished(self, sm, tb) -> None:
         """Hook invoked when a TB completes (default: nothing)."""
+
+    def bind_telemetry(self, tracer, clock) -> None:
+        """Attach a tracer + cycle clock; policy subclasses emit instants
+        on the shared ``scheduler`` lane for non-default decisions."""
+        if tracer is None or not tracer.enabled:
+            self._tracer = None
+            return
+        self._tracer = tracer
+        self._clock = clock
+        self._track = tracer.track("scheduler")
 
 
 class RoundRobinScheduler(TBScheduler):
@@ -102,9 +118,26 @@ class TLBAwareScheduler(TBScheduler):
             if rate is None or rate <= threshold:
                 chosen = sm
                 break
+        tracer = self._tracer
         if chosen is None:
             # No low-miss-rate SM has room: fall back to default scheduling.
             chosen = default
+            if tracer is not None:
+                tracer.instant(
+                    CAT_SCHED, "fallback", self._clock(), self._track,
+                    {"sm": chosen.sm_id, "mean_miss": round(mean, 4)},
+                )
+        elif chosen is not default and tracer is not None:
+            # The paper's mechanism actually fired: the thrashing
+            # round-robin candidate was skipped for a low-miss-rate SM.
+            tracer.instant(
+                CAT_SCHED, "divert", self._clock(), self._track,
+                {
+                    "from": default.sm_id,
+                    "to": chosen.sm_id,
+                    "mean_miss": round(mean, 4),
+                },
+            )
         self._advance_past(sms, chosen)
         return chosen
 

@@ -26,8 +26,9 @@ from typing import Any, Dict, Optional, Tuple
 
 from .errors import CheckpointError
 
-#: bump when the RunResult wire format changes incompatibly
-CHECKPOINT_VERSION = 1
+#: bump when the RunResult wire format or cell-key shape changes
+#: incompatibly (v2: keys grew telemetry fields, results grew timeseries)
+CHECKPOINT_VERSION = 2
 
 _HEADER_KIND = "repro-checkpoint"
 

@@ -55,6 +55,9 @@ class EventQueue:
         self._heap: list[_Event] = []
         self._seq = 0
         self._now = 0.0
+        #: optional ``callback(now)`` invoked whenever the clock advances
+        #: (telemetry sampling hook); ``None`` costs one check per event
+        self.time_watcher: Optional[Callable[[float], Any]] = None
 
     @property
     def now(self) -> float:
@@ -119,7 +122,12 @@ class EventQueue:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        advanced = event.time > self._now
         self._now = event.time
+        watcher = self.time_watcher
+        if watcher is not None and advanced:
+            # observe the new cycle *before* its first event mutates state
+            watcher(event.time)
         event.callback()
         return True
 

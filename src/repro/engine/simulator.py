@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+# tracer.py is dependency-free, so the engine importing it keeps the
+# engine package the bottom layer (telemetry/__init__ is NOT imported)
+from ..telemetry.tracer import NULL_TRACER
 from .errors import LivelockError, SimulationError
 from .event_queue import EventHandle, EventQueue
 from .stats import StatRegistry
@@ -32,9 +35,20 @@ class Simulator:
         self,
         max_events: int = 500_000_000,
         progress_window: int = 5_000_000,
+        tracer=None,
+        sampler=None,
     ) -> None:
         self.queue = EventQueue()
         self.stats = StatRegistry()
+        #: telemetry event tracer; NULL_TRACER (enabled=False) when off.
+        #: Components cache ``tracer if tracer.enabled else None`` so the
+        #: disabled hot path is one attribute check, no calls.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional TimeSeriesSampler; drives itself off the event
+        #: queue's time watcher, so ``None`` adds no per-event work here
+        self.sampler = sampler
+        if sampler is not None:
+            sampler.attach(self)
         self.max_events = max_events
         #: events allowed since the last :meth:`note_progress` mark
         self.progress_window = progress_window
@@ -122,4 +136,8 @@ class Simulator:
                     f"exceeded event budget ({self.max_events}); likely "
                     f"livelock\n{self.livelock_diagnostics()}"
                 )
+        if self.sampler is not None:
+            # close the last partial interval so the series covers the
+            # whole run even when it ends between sample boundaries
+            self.sampler.finalize(self.queue.now)
         return self.queue.now

@@ -7,8 +7,9 @@ they are cheap to bump on the hot path; derived ratios are computed lazily.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class Counter:
@@ -58,6 +59,30 @@ class Histogram:
             out.append((key, running / total))
         return out
 
+    def percentile(self, p: float) -> Optional[int]:
+        """Smallest key whose cumulative fraction reaches ``p`` percent.
+
+        ``p`` is in [0, 100]; returns ``None`` on an empty histogram.
+        ``percentile(50)`` is the median bucket, ``percentile(100)`` the
+        largest populated key.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        total = self.total
+        if total == 0:
+            return None
+        target = total * (p / 100.0)
+        running = 0
+        keys = sorted(self.buckets)
+        for key in keys:
+            running += self.buckets[key]
+            if running >= target:
+                return key
+        return keys[-1]
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self.buckets)
+
     def reset(self) -> None:
         self.buckets.clear()
 
@@ -103,6 +128,26 @@ class StatGroup:
     def as_dict(self) -> Dict[str, int]:
         return {c.name: c.value for c in self._counters.values()}
 
+    def counter_value(self, name: str) -> Optional[int]:
+        """Read a counter without creating it (``None`` when absent).
+
+        The time-series sampler polls many groups for counters that only
+        some of them own; a creating read would pollute the registry with
+        zero counters and make sampled runs dump differently from
+        unsampled ones.
+        """
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else None
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Counters and histogram buckets as one JSON-compatible dict."""
+        return {
+            "counters": self.as_dict(),
+            "histograms": {
+                h.name: h.as_dict() for h in self._histograms.values()
+            },
+        }
+
 
 class StatRegistry:
     """Registry of all stat groups in one simulation instance."""
@@ -125,3 +170,12 @@ class StatRegistry:
     def dump(self) -> Dict[str, Dict[str, int]]:
         """Nested ``{group: {counter: value}}`` snapshot of all counters."""
         return {g.name: g.as_dict() for g in self._groups.values()}
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Full snapshot including histograms: ``{group: {counters,
+        histograms}}`` (see :meth:`StatGroup.snapshot`)."""
+        return {g.name: g.snapshot() for g in self._groups.values()}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Deterministic JSON text of the full registry snapshot."""
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)

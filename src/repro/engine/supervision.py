@@ -55,15 +55,21 @@ class CellSpec:
     seed: int = 0
     record_tlb_trace: bool = False
     occupancy_override: Optional[int] = None
+    #: per-cell telemetry (TelemetrySettings); workers build the tracer/
+    #: sampler it describes and write the trace to its per-cell path
+    telemetry: Optional[Any] = None
 
     @property
     def key(self) -> Tuple[Any, ...]:
+        telemetry_key = (
+            self.telemetry.key if self.telemetry is not None else (None, False)
+        )
         return (
             self.benchmark,
             self.config_tag,
             self.record_tlb_trace,
             self.occupancy_override,
-        )
+        ) + telemetry_key
 
 
 @dataclass
@@ -99,7 +105,11 @@ def simulate_cell(spec: CellSpec) -> Any:
     """The cell body: build the workload + machine, run, summarize.
 
     Usable both supervised (inside a worker) and unsupervised (fast
-    in-process path); classifies workload-construction errors.
+    in-process path); classifies workload-construction errors.  When the
+    spec carries telemetry settings, the tracer/sampler are built here —
+    inside the worker for supervised runs — and the trace file is
+    written to the spec's per-cell path before the result is reported,
+    so the parent can merge per-cell files after the sweep.
     """
     from ..system import build_gpu
     from ..workloads import make_benchmark
@@ -112,8 +122,30 @@ def simulate_cell(spec: CellSpec) -> Any:
         raise WorkloadError(
             f"benchmark {spec.benchmark!r} failed to generate: {exc}"
         ) from exc
-    gpu = build_gpu(spec.config, record_tlb_trace=spec.record_tlb_trace)
-    return gpu.run(kernel, occupancy_override=spec.occupancy_override)
+    sim = None
+    tracer = None
+    telemetry = spec.telemetry
+    if telemetry is not None and telemetry.active:
+        from ..engine.simulator import Simulator
+        from ..telemetry import TimeSeriesSampler, Tracer
+
+        tracer = Tracer() if telemetry.trace_path is not None else None
+        sampler = (
+            TimeSeriesSampler(telemetry.sample_every)
+            if telemetry.sample_every is not None
+            else None
+        )
+        sim = Simulator(tracer=tracer, sampler=sampler)
+    gpu = build_gpu(
+        spec.config, sim=sim, record_tlb_trace=spec.record_tlb_trace
+    )
+    result = gpu.run(kernel, occupancy_override=spec.occupancy_override)
+    if tracer is not None:
+        tracer.export(
+            telemetry.trace_path,
+            label=f"{spec.benchmark}:{spec.config_tag}",
+        )
+    return result
 
 
 def _worker_main(spec: CellSpec, fault: Optional[FaultSpec], conn) -> None:

@@ -35,6 +35,7 @@ from . import (
     fig12,
     large_pages,
     oversubscription,
+    timeseries,
 )
 from .runner import ExperimentRunner, ShapeCheck, summarize_checks
 from .tables import format_table3, run_table2, table3_checks
@@ -166,6 +167,9 @@ def run_all(
         ("Ext: warp reuse",
          "warp-granularity reuse share (future work)",
          ablations.run_warp_reuse),
+        ("Ext: time-resolved",
+         "L1 TLB miss rate over time (telemetry sampler)",
+         timeseries.run),
     ]
     for exp_id, title, run_fn in figures:
         guarded(
@@ -278,7 +282,8 @@ def main(argv: List[str]) -> int:
     if args.write:
         with open("EXPERIMENTS.md", "w") as handle:
             handle.write(text)
-        print("wrote EXPERIMENTS.md")
+        manifest = runner.write_manifest("report", "EXPERIMENTS.md")
+        print(f"wrote EXPERIMENTS.md (+ {manifest})")
     return 0
 
 

@@ -25,6 +25,8 @@ of :mod:`repro.engine.supervision`:
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -41,6 +43,7 @@ from ..engine.supervision import (
     Supervisor,
     simulate_cell,
 )
+from ..telemetry import RunManifest, TelemetrySettings, config_hash, merge_traces
 from ..workloads import BENCHMARKS, make_benchmark
 from .configs import get_config
 
@@ -68,6 +71,12 @@ class ExperimentRunner:
     supervised: Optional[bool] = None
     #: raise on cell failure (True) or degrade to FAILED placeholders
     strict: bool = True
+    #: merged Chrome trace destination; each simulated cell writes a
+    #: per-cell part next to it, merged (one pid per cell) by close()
+    trace_path: Optional[str] = None
+    #: default time-series sampling interval for every cell (cycles);
+    #: per-call ``sample_every`` overrides it
+    sample_every: Optional[int] = None
     _kernels: Dict[str, Kernel] = field(default_factory=dict)
     _results: Dict[CellKey, RunResult] = field(default_factory=dict)
     _failed: Dict[CellKey, RunResult] = field(default_factory=dict)
@@ -79,6 +88,9 @@ class ExperimentRunner:
     cells_restored: int = 0
 
     def __post_init__(self) -> None:
+        self._started = time.monotonic()
+        self._trace_parts: List[Tuple[str, str]] = []
+        self._config_hashes: Dict[str, str] = {}
         if self.supervised is None:
             self.supervised = (
                 self.timeout is not None or self.fault_plan is not None
@@ -119,6 +131,7 @@ class ExperimentRunner:
         config_name: str,
         record_tlb_trace: bool = False,
         occupancy_override: Optional[int] = None,
+        sample_every: Optional[int] = None,
     ) -> RunResult:
         """Simulate one named-configuration cell (memoized)."""
         return self.run_config(
@@ -127,6 +140,7 @@ class ExperimentRunner:
             config_name,
             record_tlb_trace=record_tlb_trace,
             occupancy_override=occupancy_override,
+            sample_every=sample_every,
         )
 
     def run_config(
@@ -136,13 +150,28 @@ class ExperimentRunner:
         tag: str,
         record_tlb_trace: bool = False,
         occupancy_override: Optional[int] = None,
+        sample_every: Optional[int] = None,
     ) -> RunResult:
         """Simulate one cell for an explicit config (memoized by ``tag``).
 
         This is the single funnel every experiment goes through —
         ad-hoc configs (ablations, oversubscription) get the same
-        supervision, checkpointing, and degradation as named ones.
+        supervision, checkpointing, degradation, and telemetry as named
+        ones.
         """
+        self._config_hashes.setdefault(tag, config_hash(config))
+        if sample_every is None:
+            sample_every = self.sample_every
+        cell_trace = None
+        if self.trace_path is not None:
+            cell_trace = (
+                f"{self.trace_path}.cell{len(self._trace_parts)}.part"
+            )
+        telemetry = None
+        if cell_trace is not None or sample_every is not None:
+            telemetry = TelemetrySettings(
+                trace_path=cell_trace, sample_every=sample_every
+            )
         spec = CellSpec(
             benchmark=benchmark,
             config=config,
@@ -151,6 +180,7 @@ class ExperimentRunner:
             seed=self.seed,
             record_tlb_trace=record_tlb_trace,
             occupancy_override=occupancy_override,
+            telemetry=telemetry,
         )
         key = spec.key
         if key in self._results:
@@ -174,6 +204,8 @@ class ExperimentRunner:
             return placeholder
         self.cells_simulated += 1
         self._results[key] = result
+        if cell_trace is not None:
+            self._trace_parts.append((f"{benchmark}:{tag}", cell_trace))
         if self._store is not None:
             self._store.append(key, result.to_dict())
         return result
@@ -215,9 +247,56 @@ class ExperimentRunner:
             )
         return lines
 
+    def finalize_trace(self) -> Optional[str]:
+        """Merge per-cell trace parts into ``trace_path`` (idempotent).
+
+        Each cell becomes its own Chrome "process" named
+        ``benchmark:config`` in the merged file; the part files are
+        removed after a successful merge.  Returns the merged path, or
+        ``None`` when tracing was off or produced nothing.
+        """
+        if self.trace_path is None or not self._trace_parts:
+            return None
+        merged = merge_traces(self._trace_parts, self.trace_path)
+        for _, part in self._trace_parts:
+            if os.path.exists(part):
+                os.remove(part)
+        self._trace_parts = []
+        return merged
+
+    def _manifest(self, artifact_kind: str, artifact_path: str) -> RunManifest:
+        """Reproducibility manifest for an artifact this runner produced."""
+        return RunManifest(
+            artifact_kind=artifact_kind,
+            artifact_path=artifact_path,
+            scale=self.scale,
+            seed=self.seed,
+            benchmarks=list(self.benchmarks),
+            config_hashes=dict(sorted(self._config_hashes.items())),
+            trace_path=self.trace_path,
+            sample_every=self.sample_every,
+            cells_simulated=self.cells_simulated,
+            cells_restored=self.cells_restored,
+            wall_time_s=time.monotonic() - self._started,
+        )
+
+    def write_manifest(self, artifact_kind: str, artifact_path: str) -> str:
+        """Write ``<artifact>.manifest.json`` next to an artifact."""
+        return self._manifest(artifact_kind, artifact_path).write()
+
     def close(self) -> None:
+        """Flush telemetry artifacts and release the checkpoint store.
+
+        Writes the merged trace plus a manifest sidecar for the trace
+        and for the checkpoint store, so every on-disk artifact of this
+        runner is reproducible from the files next to it.
+        """
+        merged = self.finalize_trace()
+        if merged is not None:
+            self.write_manifest("trace", merged)
         if self._store is not None:
             self._store.close()
+            self.write_manifest("checkpoint", self._store.path)
 
 
 # ---------------------------------------------------------------------- #

@@ -49,6 +49,16 @@ def build_gpu(
     if sim is None:
         sim = Simulator()
     geometry = geometry_for(config.page_size)
+    tracer = sim.tracer
+    if tracer.enabled:
+        # Register the fixed lanes up front so the viewer's lane order is
+        # stable regardless of which component emits first.
+        tracer.track("kernel")
+        tracer.track("scheduler")
+        tracer.track("L2 TLB")
+        for walker_id in range(config.num_walkers):
+            tracer.track(f"walker{walker_id}")
+    clock = lambda: sim.queue.now  # noqa: E731 — cycle clock for untimed parts
 
     # Shared translation machinery (Fig 1 right-hand side).
     uvm = UVMManager(
@@ -73,6 +83,15 @@ def build_gpu(
     translation = SharedTranslationService(
         sim, l2_tlb, walkers, port_interval=config.l2_tlb_port_interval
     )
+    if tracer.enabled:
+        l2_tlb.bind_tracer(tracer, clock, tracer.track("L2 TLB"))
+        walkers.bind_tracer(
+            tracer,
+            tuple(
+                tracer.track(f"walker{walker_id}")
+                for walker_id in range(config.num_walkers)
+            ),
+        )
 
     # Shared data-memory system.
     interconnect = Interconnect(
@@ -98,6 +117,8 @@ def build_gpu(
         l1_tlb = build_l1_tlb(
             config, stats=sim.stats.group(f"sm{sm_id}_l1tlb"), name=f"sm{sm_id}_l1tlb"
         )
+        if tracer.enabled:
+            l1_tlb.bind_tracer(tracer, clock, tracer.track(f"SM{sm_id} L1 TLB"))
         l1_cache = Cache(
             config.l1_cache_bytes,
             config.l1_cache_assoc,
@@ -139,6 +160,12 @@ def build_gpu(
         uvm.invalidate_hook = _shootdown
 
     scheduler = make_scheduler(config.tb_scheduler, config.num_sms)
+    scheduler.bind_telemetry(tracer, clock)
+    if sim.sampler is not None:
+        # occupancy is state, not a counter — sample it via a probe
+        sim.sampler.add_probe(
+            "resident_tbs", lambda: sum(len(sm.resident) for sm in sms)
+        )
     return GPU(sim, config, geometry, sms, scheduler, l2_tlb, walkers, partitions)
 
 

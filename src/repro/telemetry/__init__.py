@@ -1,0 +1,67 @@
+"""Telemetry: cycle-resolved tracing, time-series metrics, run manifests.
+
+The paper's claims are temporal — TB-granularity translation reuse
+windows, transient miss spikes after partitioning, dynamic sharing
+triggers — so end-of-run scalar counters are not enough to inspect or
+debug them.  This package adds three observability primitives:
+
+* :class:`Tracer` — typed, cycle-stamped span/instant/counter events
+  (TB launch→retire, TLB hit/miss/evict, page-walk start→end, warp
+  translation-stall intervals) exported as Chrome trace-event JSON,
+  loadable in ``chrome://tracing`` and https://ui.perfetto.dev;
+* :class:`TimeSeriesSampler` — snapshots selected
+  :class:`~repro.engine.stats.StatRegistry` counters every N cycles
+  into columnar series (TLB miss rate over time, occupancy, sharing
+  spills), feeding the time-resolved report figure;
+* :class:`RunManifest` — a JSON sidecar written next to every trace,
+  checkpoint, and report capturing config hashes, seed, git SHA,
+  workload parameters, wall time, and telemetry file paths, so any
+  artifact is reproducible from its manifest alone.
+
+Telemetry is strictly opt-in: components cache ``None`` instead of a
+disabled tracer, so the disabled hot path costs one attribute check per
+event and allocates nothing (see :data:`~repro.telemetry.tracer.NULL_TRACER`).
+"""
+
+from .manifest import RunManifest, config_hash, git_sha, manifest_path_for
+from .sampler import DEFAULT_SERIES, TimeSeriesSampler, interval_rate
+from .settings import TelemetrySettings
+from .summary import TraceSummary, load_trace, summarize_trace
+from .tracer import (
+    CAT_KERNEL,
+    CAT_SAMPLE,
+    CAT_SCHED,
+    CAT_TB,
+    CAT_TLB,
+    CAT_WALK,
+    CAT_WARP,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    merge_traces,
+)
+
+__all__ = [
+    "CAT_KERNEL",
+    "CAT_SAMPLE",
+    "CAT_SCHED",
+    "CAT_TB",
+    "CAT_TLB",
+    "CAT_WALK",
+    "CAT_WARP",
+    "DEFAULT_SERIES",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunManifest",
+    "TelemetrySettings",
+    "TimeSeriesSampler",
+    "TraceSummary",
+    "Tracer",
+    "config_hash",
+    "git_sha",
+    "interval_rate",
+    "load_trace",
+    "manifest_path_for",
+    "merge_traces",
+    "summarize_trace",
+]

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from ..engine.stats import StatGroup
+from ..telemetry.tracer import CAT_TLB
 
 
 @dataclass
@@ -107,6 +108,29 @@ class SetAssociativeTLB:
         self._misses = self.stats.counter("misses")
         self._evictions = self.stats.counter("evictions")
         self._sets_probed = self.stats.counter("sets_probed")
+        # telemetry (see bind_tracer); None keeps the hot path to a
+        # single attribute check per probe/insert
+        self._tracer = None
+        self._clock = None
+        self._track = 0
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def bind_tracer(self, tracer, clock, track: int) -> None:
+        """Attach a telemetry tracer emitting hit/miss/evict instants.
+
+        ``clock`` is a zero-arg callable returning the current cycle
+        (the TLB itself is untimed); ``track`` is the tracer lane.  A
+        disabled tracer (or ``None``) detaches: the stored ``None`` is
+        what keeps the disabled path allocation-free.
+        """
+        if tracer is None or not tracer.enabled:
+            self._tracer = None
+            return
+        self._tracer = tracer
+        self._clock = clock
+        self._track = track
 
     # ------------------------------------------------------------------ #
     # Per-set storage hooks (overridden by the compressed TLB)
@@ -166,16 +190,27 @@ class SetAssociativeTLB:
     def probe(self, vpn: int, tb_id: Optional[int] = None) -> TLBProbeResult:
         """Probe for ``vpn``; updates LRU and hit/miss statistics."""
         probed = 0
+        tracer = self._tracer
         for set_idx in self.policy.lookup_sets(vpn, tb_id):
             probed += 1
             ppn = self._probe_set(set_idx, vpn)
             if ppn is not None:
                 self._hits.inc()
                 self._sets_probed.inc(probed)
+                if tracer is not None:
+                    tracer.instant(
+                        CAT_TLB, "hit", self._clock(), self._track,
+                        {"vpn": vpn, "tb": tb_id, "set": set_idx},
+                    )
                 return TLBProbeResult(True, ppn, probed)
         probed = max(probed, 1)
         self._misses.inc()
         self._sets_probed.inc(probed)
+        if tracer is not None:
+            tracer.instant(
+                CAT_TLB, "miss", self._clock(), self._track,
+                {"vpn": vpn, "tb": tb_id},
+            )
         return TLBProbeResult(False, None, probed)
 
     def contains(self, vpn: int, tb_id: Optional[int] = None) -> bool:
@@ -208,7 +243,13 @@ class SetAssociativeTLB:
         evicted = self._insert_new(candidates[0], vpn, ppn)
         if evicted is None:
             return None
-        self._handle_eviction(evicted, tb_id)
+        spilled_to = self._handle_eviction(evicted, tb_id)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                CAT_TLB, "evict", self._clock(), self._track,
+                {"vpn": evicted[0], "tb": tb_id, "spilled_to": spilled_to},
+            )
         return evicted[0]
 
     def invalidate(self, vpn: int) -> bool:

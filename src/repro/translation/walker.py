@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 from ..engine.resources import ResourcePool
 from ..engine.stats import StatGroup
+from ..telemetry.tracer import CAT_WALK
 from .uvm import UVMManager
 
 
@@ -33,6 +34,24 @@ class WalkerPool:
         self._walks = self.stats.counter("walks")
         self._faults = self.stats.counter("far_faults")
         self._queue_hist = self.stats.histogram("queue_delay")
+        self._tracer = None
+        self._lanes: Tuple[int, ...] = ()
+        self._lane_rr = 0
+
+    def bind_tracer(self, tracer, lanes: Tuple[int, ...]) -> None:
+        """Attach a tracer with one lane per walker.
+
+        Spans are assigned to lanes round-robin: acquisition is FIFO
+        across an interchangeable pool, so round-robin reproduces the
+        per-walker occupancy pattern without threading walker identity
+        through the resource pool.
+        """
+        if tracer is None or not tracer.enabled or not lanes:
+            self._tracer = None
+            return
+        self._tracer = tracer
+        self._lanes = tuple(lanes)
+        self._lane_rr = 0
 
     def walk(self, vpn: int, now: float) -> Tuple[float, int]:
         """Issue a walk for ``vpn`` at time ``now``.
@@ -50,6 +69,18 @@ class WalkerPool:
         if fault_latency > 0:
             self._faults.inc()
             done += fault_latency
+        tracer = self._tracer
+        if tracer is not None:
+            lane = self._lanes[self._lane_rr]
+            self._lane_rr = (self._lane_rr + 1) % len(self._lanes)
+            tracer.complete(
+                CAT_WALK, "walk", now, done - now, lane,
+                {
+                    "vpn": vpn,
+                    "fault": fault_latency > 0,
+                    "queue_delay": max(queue_delay, 0.0),
+                },
+            )
         return done, ppn
 
     @property

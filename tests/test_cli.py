@@ -95,3 +95,85 @@ class TestReportFlags:
         assert args.checkpoint == "x.jsonl"
         assert args.resume and args.strict
         assert args.benchmarks == ["nw", "bfs"]
+
+
+class TestTelemetryFlags:
+    """--trace / --sample-every and the trace subcommand."""
+
+    def test_run_writes_trace_and_manifest(self, capsys, tmp_path):
+        trace = str(tmp_path / "t.json")
+        assert main(
+            ["run", "nw", "--scale", "micro",
+             "--trace", trace, "--sample-every", "500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out and trace in out
+        payload = json.load(open(trace))
+        cats = {e.get("cat") for e in payload["traceEvents"]}
+        assert {"tb", "tlb", "walk"} <= cats
+        manifest = json.load(open(trace + ".manifest.json"))
+        assert manifest["kind"] == "repro-manifest"
+        assert manifest["sample_every"] == 500
+
+    def test_trace_subcommand_summarizes(self, capsys, tmp_path):
+        trace = str(tmp_path / "t.json")
+        assert main(["run", "nw", "--scale", "micro", "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace", trace, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "tb spans" in out
+
+    def test_trace_subcommand_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["trace", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_compare_merges_cells_into_one_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "cmp.json")
+        assert main(
+            ["compare", "nw", "--scale", "micro",
+             "--configs", "baseline", "partition", "--trace", trace]
+        ) == 0
+        events = json.load(open(trace))["traceEvents"]
+        assert {e["pid"] for e in events} == {0, 1}
+        labels = {e["args"]["name"] for e in events
+                  if e.get("name") == "process_name"}
+        assert labels == {"nw:baseline", "nw:partition"}
+
+
+class TestResilienceFlagParity:
+    """run and compare accept the same flags report always had."""
+
+    def test_run_checkpoint_resume_cycle(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "c.jsonl")
+        assert main(
+            ["run", "nw", "--scale", "micro", "--checkpoint", ckpt]
+        ) == 0
+        capsys.readouterr()
+        assert json.load(open(ckpt + ".manifest.json"))["seed"] == 0
+        assert main(
+            ["run", "nw", "--scale", "micro",
+             "--checkpoint", ckpt, "--resume"]
+        ) == 0
+        assert "TBs completed" in capsys.readouterr().out
+
+    def test_all_simulating_commands_share_exec_flags(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "nw", "--timeout", "5", "--checkpoint", "x", "--resume"],
+            ["compare", "nw", "--timeout", "5", "--checkpoint", "x",
+             "--resume"],
+            ["report", "--timeout", "5", "--checkpoint", "x", "--resume"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.timeout == 5.0
+            assert args.checkpoint == "x"
+            assert args.resume is True
+
+    def test_resume_defaults_checkpoint_path(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "nw", "--scale", "micro", "--resume"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / ".repro_checkpoint.micro.jsonl").exists()

@@ -95,3 +95,55 @@ def test_tables():
     assert "bfs" in t2.format_table()
     assert all(c.passed for c in table3_checks())
     assert "16 SMs" in format_table3()
+
+
+def test_timeseries_experiment(runner):
+    from repro.experiments import timeseries
+
+    result = timeseries.run(runner)
+    assert result.benchmark == runner.benchmarks[0]
+    assert set(result.rates) == {"baseline", "partition_sharing"}
+    for check in result.shape_checks():
+        assert check.passed, check
+    table = result.format_table()
+    assert "miss rate" in table and "baseline" in table
+
+
+def test_runner_telemetry_merges_cells(tmp_path):
+    trace = str(tmp_path / "sweep.json")
+    runner = ExperimentRunner(
+        scale="micro", benchmarks=("nw",), trace_path=trace, sample_every=500
+    )
+    runner.run("nw", "baseline")
+    runner.run("nw", "partition")
+    runner.close()
+    import json
+
+    events = json.load(open(trace))["traceEvents"]
+    assert {e["pid"] for e in events} == {0, 1}
+    manifest = json.load(open(trace + ".manifest.json"))
+    assert manifest["artifact_kind"] == "trace"
+    assert manifest["cells_simulated"] == 2
+    assert manifest["config_hashes"].keys() == {"baseline", "partition"}
+    # part files were cleaned up after the merge
+    assert not list(tmp_path.glob("*.part"))
+
+
+def test_supervised_worker_writes_trace(tmp_path):
+    """Telemetry survives the subprocess boundary: the worker writes the
+    per-cell trace file and ships the timeseries through the pipe."""
+    trace = str(tmp_path / "sup.json")
+    runner = ExperimentRunner(
+        scale="micro",
+        benchmarks=("nw",),
+        trace_path=trace,
+        sample_every=500,
+        supervised=True,
+    )
+    result = runner.run("nw", "baseline")
+    assert result.timeseries is not None
+    runner.close()
+    import json
+
+    payload = json.load(open(trace))
+    assert payload["traceEvents"]

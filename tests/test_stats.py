@@ -60,3 +60,55 @@ def test_registry_namespacing_and_dump():
 def test_registry_group_identity():
     r = StatRegistry()
     assert r.group("x") is r.group("x")
+
+
+# ---------------------------------------------------------------------- #
+# Percentiles / snapshots (telemetry satellites)
+# ---------------------------------------------------------------------- #
+def test_percentile_basics():
+    h = Histogram("lat")
+    for v in (1, 1, 2, 3, 100):
+        h.add(v)
+    assert h.percentile(0) == 1
+    assert h.percentile(50) == 2
+    assert h.percentile(100) == 100
+
+
+def test_percentile_empty_and_bounds():
+    h = Histogram("x")
+    assert h.percentile(50) is None
+    h.add(5)
+    import pytest
+
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_counter_value_is_non_creating():
+    g = StatGroup("g")
+    assert g.counter_value("nope") is None
+    assert "nope" not in g.as_dict()
+    g.counter("hits").inc(4)
+    assert g.counter_value("hits") == 4
+
+
+def test_group_snapshot_includes_histograms():
+    g = StatGroup("g")
+    g.counter("hits").inc(2)
+    g.histogram("lat").add(7)
+    snap = g.snapshot()
+    assert snap["counters"] == {"hits": 2}
+    assert snap["histograms"]["lat"] == {7: 1}
+
+
+def test_registry_to_json_roundtrips():
+    import json
+
+    r = StatRegistry()
+    r.group("sm0").counter("hits").inc(2)
+    r.group("sm0").histogram("lat").add(3)
+    payload = json.loads(r.to_json())
+    assert payload["sm0"]["counters"]["hits"] == 2
+    assert payload["sm0"]["histograms"]["lat"] == {"3": 1}
