@@ -74,6 +74,9 @@ class StreamingMultiprocessor:
         self._translations_sent = self.stats.counter("l2_tlb_requests")
         self._merged = self.stats.counter("translation_mshr_merged")
         self._pending: Dict[int, List[_Waiter]] = {}
+        #: sanitizer lifecycle checker (set by LifecycleChecker.bind);
+        #: ``None`` keeps the unsanitized hot path to one attribute check
+        self.lifecycle = None
         self.tlb_trace: Optional[List[Tuple[int, int]]] = [] if record_tlb_trace else None
         # telemetry: cache None when disabled so per-event cost is one
         # attribute check; lanes are one per SM plus one stall lane, and
@@ -121,6 +124,8 @@ class StreamingMultiprocessor:
         tb.attach_warps(warps)
         self.resident[hw_id] = tb
         self._dispatched.inc()
+        if self.lifecycle is not None:
+            self.lifecycle.on_dispatch(self.sm_id, hw_id)
         if self._tracer is not None:
             self._tracer.instant(
                 CAT_TB, "tb_dispatch", now, self._track,
@@ -140,6 +145,10 @@ class StreamingMultiprocessor:
         return tb
 
     def _finish_tb(self, tb: TBRuntime) -> None:
+        if self.lifecycle is not None:
+            # before any teardown so a double-finish is caught as the
+            # lifecycle breach it is, not as an allocator ValueError
+            self.lifecycle.on_finish(self.sm_id, tb.hw_tb_id)
         self.resident.pop(tb.hw_tb_id, None)
         self.tbid_alloc.release(tb.hw_tb_id)
         self._completed.inc()
@@ -173,6 +182,8 @@ class StreamingMultiprocessor:
         )
 
     def _on_grant(self, warp: WarpRuntime, grant_time: float) -> None:
+        if self.lifecycle is not None:
+            self.lifecycle.on_issue(self.sm_id, warp)
         if warp.tx_issued == 0:
             instr = warp.begin_instruction()
         else:

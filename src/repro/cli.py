@@ -6,6 +6,9 @@ Commands:
 * ``compare`` — run a benchmark across several configurations;
 * ``report`` — regenerate every table/figure (writes EXPERIMENTS.md
   with ``--write``);
+* ``check`` — differential self-check suites plus the golden-result
+  regression gate (``--update-goldens`` to re-pin after an intentional
+  result change);
 * ``trace`` — summarize a Chrome trace file written by ``--trace``;
 * ``list`` — show available benchmarks, configurations, and scales.
 
@@ -19,15 +22,19 @@ is written next to every trace and checkpoint.
 
 Failure contract (see DESIGN.md "Failure modes & recovery"): every
 taxonomy error exits with a class-specific nonzero code (config=3,
-workload=4, livelock=5, timeout=6, worker crash=7, checkpoint=8) and
-prints a single machine-readable JSON line on stderr, e.g.::
+workload=4, livelock=5, timeout=6, worker crash=7, checkpoint=8,
+sanitizer=9) and prints a single machine-readable JSON line on stderr,
+e.g.::
 
     {"error": "livelock", "message": "...", "exit_code": 5}
 
 ``--timeout`` runs cells in supervised subprocess workers with a
 wall-clock watchdog; ``report --checkpoint/--resume`` makes a long
 sweep restartable.  ``REPRO_FAULT=bench:config:kind[:times]`` injects
-deterministic faults for testing the degradation path.
+deterministic faults for testing the degradation path;
+``--sanitize[=strict|cheap]`` (or ``REPRO_SANITIZE``) enables runtime
+invariant checking, and ``REPRO_SANITIZE_INJECT=<tag>`` deliberately
+breaks one invariant to prove the checker fires.
 """
 
 from __future__ import annotations
@@ -72,6 +79,13 @@ def _add_exec_group(parser: argparse.ArgumentParser) -> None:
         help="preload the checkpoint instead of starting fresh "
              "(defaults --checkpoint to .repro_checkpoint.<scale>.jsonl)",
     )
+    group.add_argument(
+        "--sanitize", nargs="?", const="strict", default=None,
+        choices=["strict", "cheap", "off"], metavar="MODE",
+        help="runtime invariant checking (bare flag means strict; "
+             "'off' overrides REPRO_SANITIZE); violations exit 9 with "
+             "a sanitizer:<tag> error class",
+    )
 
 
 def _add_telemetry_group(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +121,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         strict=True,
         trace_path=getattr(args, "trace", None),
         sample_every=getattr(args, "sample_every", None),
+        sanitize=getattr(args, "sanitize", None),
     )
 
 
@@ -174,7 +189,42 @@ def cmd_report(args: argparse.Namespace) -> int:
         argv.append("--strict")
     if args.benchmarks:
         argv.extend(["--benchmarks"] + args.benchmarks)
+    if args.sanitize is not None:
+        argv.extend(["--sanitize", args.sanitize])
     return report.main(argv)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Differential self-check suites + golden regression gate."""
+    from .sanitizer import (
+        check_goldens,
+        collect_cells,
+        default_golden_path,
+        run_suites,
+        write_goldens,
+    )
+
+    failed = False
+    if not args.goldens_only:
+        for outcome in run_suites(args.suites, args.scale, args.seed):
+            print(outcome)
+            failed = failed or not outcome.passed
+    golden_path = args.goldens or default_golden_path(args.scale)
+    if args.update_goldens:
+        cells = collect_cells(args.scale, args.seed)
+        path = write_goldens(golden_path, args.scale, args.seed, cells)
+        print(f"[GOLD] wrote {len(cells)} cells to {path}")
+    elif not args.skip_goldens:
+        passed, lines = check_goldens(args.scale, args.seed, golden_path)
+        mark = "PASS" if passed else "FAIL"
+        for line in lines:
+            print(f"[{mark}] goldens: {line}")
+        failed = failed or not passed
+    if failed:
+        print("repro check: FAILED", file=sys.stderr)
+        return 1
+    print("repro check: all checks passed")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -242,6 +292,34 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=BENCHMARKS, metavar="BENCH",
                        help="restrict the sweep to these benchmarks")
     p_rep.set_defaults(func=cmd_report)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="differential self-checks + golden regression gate",
+    )
+    p_chk.add_argument("--scale", default="micro", choices=sorted(SCALES),
+                       help="workload scale for the suites and goldens "
+                            "(default: micro)")
+    p_chk.add_argument("--seed", type=int, default=0)
+    from .sanitizer.selfcheck import SUITES as _SUITES
+
+    p_chk.add_argument("--suites", nargs="+", default=None,
+                       choices=sorted(_SUITES), metavar="SUITE",
+                       help="run only these self-check suites "
+                            f"(available: {', '.join(sorted(_SUITES))})")
+    p_chk.add_argument("--goldens", default=None, metavar="PATH",
+                       help="golden file (default: tools/goldens/<scale>.json)")
+    p_chk.add_argument("--update-goldens", action="store_true",
+                       dest="update_goldens",
+                       help="regenerate the golden file from the current "
+                            "simulator instead of gating against it")
+    p_chk.add_argument("--skip-goldens", action="store_true",
+                       dest="skip_goldens",
+                       help="run only the self-check suites")
+    p_chk.add_argument("--goldens-only", action="store_true",
+                       dest="goldens_only",
+                       help="run only the golden gate")
+    p_chk.set_defaults(func=cmd_check)
 
     p_trace = sub.add_parser(
         "trace", help="summarize a Chrome trace written by --trace"

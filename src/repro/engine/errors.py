@@ -77,6 +77,29 @@ class CheckpointError(SimulationError):
     exit_code = 8
 
 
+class SanitizerError(SimulationError):
+    """A runtime invariant check failed: the timing model entered an
+    architecturally illegal state (see :mod:`repro.sanitizer`).
+
+    Carries the stable checker ``tag`` (e.g. ``tlb.overfill``); the
+    effective ``error_class`` is ``sanitizer:<tag>`` so reports degrade
+    to ``FAILED(sanitizer:<tag>)`` and scripted sweeps can branch on the
+    exact violated invariant.
+    """
+
+    error_class = "sanitizer"
+    exit_code = 9
+
+    def __init__(self, message: str, tag: str = "") -> None:
+        super().__init__(message)
+        #: stable dotted checker tag, e.g. ``queue.past_event``
+        self.tag = tag
+        if tag:
+            # instance attribute shadows the class tag so classify()
+            # and CellFailure.marker carry the precise violation
+            self.error_class = f"sanitizer:{tag}"
+
+
 #: error_class tag -> exception type (parent-side reconstruction map)
 ERROR_CLASSES: Dict[str, Type[SimulationError]] = {
     cls.error_class: cls
@@ -88,6 +111,7 @@ ERROR_CLASSES: Dict[str, Type[SimulationError]] = {
         CellTimeoutError,
         WorkerCrash,
         CheckpointError,
+        SanitizerError,
     )
 }
 
@@ -97,6 +121,9 @@ TRANSIENT_CLASSES = frozenset({"worker_crash", "timeout"})
 
 def error_from_class(error_class: str, message: str) -> SimulationError:
     """Rebuild a typed taxonomy error from its wire representation."""
+    if error_class.startswith("sanitizer"):
+        # sanitizer tags travel inside the class: "sanitizer:<tag>"
+        return SanitizerError(message, tag=error_class.partition(":")[2])
     cls = ERROR_CLASSES.get(error_class, SimulationError)
     if cls is ConfigError:
         return cls(message)

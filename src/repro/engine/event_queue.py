@@ -58,6 +58,11 @@ class EventQueue:
         #: optional ``callback(now)`` invoked whenever the clock advances
         #: (telemetry sampling hook); ``None`` costs one check per event
         self.time_watcher: Optional[Callable[[float], Any]] = None
+        #: optional :class:`~repro.sanitizer.core.Sanitizer` (set by its
+        #: ``attach``); ``None`` costs one check per event, like the
+        #: watcher — the queue only calls it on an actual breach or on a
+        #: watcher invocation, never on the common path
+        self.sanitizer = None
 
     @property
     def now(self) -> float:
@@ -122,10 +127,17 @@ class EventQueue:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        sanitizer = self.sanitizer
+        if sanitizer is not None and event.time < self._now:
+            # per-event monotonicity: raises SanitizerError
+            sanitizer.check_pop(event.time, self._now)
         advanced = event.time > self._now
         self._now = event.time
         watcher = self.time_watcher
         if watcher is not None and advanced:
+            if sanitizer is not None:
+                # watcher calls must be strictly increasing in time
+                sanitizer.check_watch(event.time)
             # observe the new cycle *before* its first event mutates state
             watcher(event.time)
         event.callback()

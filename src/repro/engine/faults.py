@@ -45,6 +45,10 @@ class FaultKind(enum.Enum):
     CRASH = "crash"
     #: raise a LivelockError as the progress watchdog would
     LIVELOCK = "livelock"
+    #: raise a SanitizerError as a failed invariant sweep would (tests
+    #: the FAILED(sanitizer:<tag>) degradation path without corrupting a
+    #: real structure; REPRO_SANITIZE_INJECT does the organic version)
+    SANITIZER = "sanitizer"
     #: raise a generic SimulationError (non-transient, not retried)
     ERROR = "error"
 
@@ -152,6 +156,12 @@ def trigger(spec: FaultSpec) -> None:
         raise SimulationError("injected timeout outlived the watchdog")
     if spec.kind is FaultKind.LIVELOCK:
         raise LivelockError("injected livelock")
+    if spec.kind is FaultKind.SANITIZER:
+        from .errors import SanitizerError
+
+        raise SanitizerError(
+            "sanitizer[injected]: fault-plan violation", tag="injected"
+        )
     raise SimulationError("injected error")
 
 

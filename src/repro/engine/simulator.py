@@ -13,6 +13,11 @@ from .stats import StatRegistry
 
 __all__ = ["SimulationError", "LivelockError", "Simulator"]
 
+#: sentinel distinguishing "not passed" (consult REPRO_SANITIZE) from an
+#: explicit ``sanitizer=None`` (force off, e.g. inside self-check suites
+#: that must not inherit the environment)
+_UNSET = object()
+
 
 class Simulator:
     """Top-level simulation context.
@@ -37,6 +42,7 @@ class Simulator:
         progress_window: int = 5_000_000,
         tracer=None,
         sampler=None,
+        sanitizer=_UNSET,
     ) -> None:
         self.queue = EventQueue()
         self.stats = StatRegistry()
@@ -49,6 +55,17 @@ class Simulator:
         self.sampler = sampler
         if sampler is not None:
             sampler.attach(self)
+        if sanitizer is _UNSET:
+            # default from REPRO_SANITIZE so an exported env var
+            # sanitizes everything built on top (including the test
+            # suite) without threading a flag through every call site
+            from ..sanitizer.core import Sanitizer
+
+            sanitizer = Sanitizer.from_env()
+        #: runtime invariant checker; ``None`` runs unsanitized
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(self)
         self.max_events = max_events
         #: events allowed since the last :meth:`note_progress` mark
         self.progress_window = progress_window
@@ -120,12 +137,23 @@ class Simulator:
         or the hard ``max_events`` budget is exhausted — both almost
         always indicate a livelock in a component model.
         """
+        sanitizer = self.sanitizer
+        sweep_at = (
+            self._events_run + sanitizer.sweep_interval
+            if sanitizer is not None
+            else 0
+        )
+        drained = False
         while True:
             if until is not None and until():
                 break
             if not self.queue.pop_and_run():
+                drained = True
                 break
             self._events_run += 1
+            if sanitizer is not None and self._events_run >= sweep_at:
+                sanitizer.sweep(self)
+                sweep_at = self._events_run + sanitizer.sweep_interval
             if self._events_run - self._last_progress_event > self.progress_window:
                 raise LivelockError(
                     f"no forward progress across {self.progress_window} "
@@ -136,6 +164,10 @@ class Simulator:
                     f"exceeded event budget ({self.max_events}); likely "
                     f"livelock\n{self.livelock_diagnostics()}"
                 )
+        if sanitizer is not None and drained:
+            # conservation laws only hold on a fully drained queue; a
+            # stop predicate leaves work legitimately in flight
+            sanitizer.final(self)
         if self.sampler is not None:
             # close the last partial interval so the series covers the
             # whole run even when it ends between sample boundaries

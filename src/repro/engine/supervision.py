@@ -58,6 +58,10 @@ class CellSpec:
     #: per-cell telemetry (TelemetrySettings); workers build the tracer/
     #: sampler it describes and write the trace to its per-cell path
     telemetry: Optional[Any] = None
+    #: sanitizer mode ("strict"/"cheap"/None); NOT part of ``key`` —
+    #: sanitizing never changes a correct cell's result, so memoized and
+    #: checkpointed results stay valid with the flag on or off
+    sanitize: Optional[str] = None
 
     @property
     def key(self) -> Tuple[Any, ...]:
@@ -124,9 +128,9 @@ def simulate_cell(spec: CellSpec) -> Any:
         ) from exc
     sim = None
     tracer = None
+    sampler = None
     telemetry = spec.telemetry
     if telemetry is not None and telemetry.active:
-        from ..engine.simulator import Simulator
         from ..telemetry import TimeSeriesSampler, Tracer
 
         tracer = Tracer() if telemetry.trace_path is not None else None
@@ -135,7 +139,21 @@ def simulate_cell(spec: CellSpec) -> Any:
             if telemetry.sample_every is not None
             else None
         )
-        sim = Simulator(tracer=tracer, sampler=sampler)
+    from ..sanitizer.core import Sanitizer
+
+    # explicit CLI mode wins over REPRO_SANITIZE; None falls back to it
+    sanitizer = Sanitizer.make(spec.sanitize)
+    if (
+        tracer is not None
+        or sampler is not None
+        or sanitizer is not None
+        # an explicit "off" must pin sanitizer=None here: a default
+        # Simulator would re-read REPRO_SANITIZE and turn it back on
+        or spec.sanitize is not None
+    ):
+        from ..engine.simulator import Simulator
+
+        sim = Simulator(tracer=tracer, sampler=sampler, sanitizer=sanitizer)
     gpu = build_gpu(
         spec.config, sim=sim, record_tlb_trace=spec.record_tlb_trace
     )

@@ -74,6 +74,7 @@ def run_all(
     resume: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     strict: bool = False,
+    sanitize: Optional[str] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> Tuple[List[ExperimentReport], ExperimentRunner]:
     """Regenerate every experiment.
@@ -98,6 +99,7 @@ def run_all(
             resume=resume,
             fault_plan=fault_plan,
             strict=strict,
+            sanitize=sanitize,
         )
     if runner.cells_restored:
         note(f"resumed {runner.cells_restored} cells from checkpoint")
@@ -259,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--benchmarks", nargs="+", default=None,
                         choices=BENCHMARKS, metavar="BENCH",
                         help="restrict the sweep to these benchmarks")
+    parser.add_argument("--sanitize", nargs="?", const="strict",
+                        default=None, choices=["strict", "cheap", "off"],
+                        help="runtime invariant checking for every cell "
+                             "(bare flag means strict; 'off' overrides "
+                             "REPRO_SANITIZE)")
     return parser
 
 
@@ -276,6 +283,7 @@ def main(argv: List[str]) -> int:
         resume=args.resume,
         fault_plan=FaultPlan.from_env(),
         strict=args.strict,
+        sanitize=args.sanitize,
     )
     text = render_markdown(reports, args.scale, runner)
     print(text)

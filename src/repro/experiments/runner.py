@@ -34,7 +34,7 @@ from ..arch.config import GPUConfig
 from ..arch.gpu import RunResult
 from ..arch.kernel import Kernel
 from ..engine.checkpoint import CheckpointStore
-from ..engine.errors import SimulationError, classify
+from ..engine.errors import CheckpointError, SimulationError, classify
 from ..engine.faults import FaultPlan
 from ..engine.supervision import (
     CellFailure,
@@ -43,7 +43,14 @@ from ..engine.supervision import (
     Supervisor,
     simulate_cell,
 )
-from ..telemetry import RunManifest, TelemetrySettings, config_hash, merge_traces
+from ..sanitizer import normalize_mode
+from ..telemetry import (
+    RunManifest,
+    TelemetrySettings,
+    config_hash,
+    manifest_path_for,
+    merge_traces,
+)
 from ..workloads import BENCHMARKS, make_benchmark
 from .configs import get_config
 
@@ -77,6 +84,10 @@ class ExperimentRunner:
     #: default time-series sampling interval for every cell (cycles);
     #: per-call ``sample_every`` overrides it
     sample_every: Optional[int] = None
+    #: runtime invariant checking mode ("strict"/"cheap"/"off"/None);
+    #: ``None`` lets workers fall back to REPRO_SANITIZE, "off" forces it
+    #: off even when the environment asks for it
+    sanitize: Optional[str] = None
     _kernels: Dict[str, Kernel] = field(default_factory=dict)
     _results: Dict[CellKey, RunResult] = field(default_factory=dict)
     _failed: Dict[CellKey, RunResult] = field(default_factory=dict)
@@ -91,6 +102,13 @@ class ExperimentRunner:
         self._started = time.monotonic()
         self._trace_parts: List[Tuple[str, str]] = []
         self._config_hashes: Dict[str, str] = {}
+        #: config hashes recorded by the manifest of a resumed checkpoint;
+        #: run_config refuses any tag whose current hash differs
+        self._resumed_hashes: Dict[str, str] = {}
+        if self.sanitize is not None:
+            # fail fast on a bad mode string ("off" stays distinct from
+            # None: it must override REPRO_SANITIZE inside workers)
+            normalize_mode(self.sanitize)
         if self.supervised is None:
             self.supervised = (
                 self.timeout is not None or self.fault_plan is not None
@@ -106,11 +124,47 @@ class ExperimentRunner:
                 self.checkpoint_path, scale=self.scale, seed=self.seed
             )
             if self.resume:
+                self._validate_resume_manifest()
                 for key, payload in self._store.load().items():
                     self._results[tuple(key)] = RunResult.from_dict(payload)
                     self.cells_restored += 1
             elif self._store.exists():
                 self._store.discard()
+
+    def _validate_resume_manifest(self) -> None:
+        """Refuse a checkpoint whose manifest contradicts this invocation.
+
+        The checkpoint header already pins scale and seed; the manifest
+        sidecar additionally records a hash of every configuration the
+        producing run simulated, which lets us reject resumes after a
+        config edit — silently mixing old and new cells would produce a
+        sweep no single configuration ever generated.  A missing sidecar
+        (interrupted run, pre-manifest checkpoint) is tolerated; the
+        header checks still apply.
+        """
+        manifest_path = manifest_path_for(self.checkpoint_path)
+        if not os.path.exists(manifest_path):
+            return
+        try:
+            manifest = RunManifest.load(manifest_path)
+        except (ValueError, OSError) as exc:
+            raise CheckpointError(
+                f"cannot resume {self.checkpoint_path!r}: unreadable "
+                f"manifest sidecar {manifest_path!r} ({exc})"
+            ) from exc
+        if manifest.seed != self.seed:
+            raise CheckpointError(
+                f"cannot resume {self.checkpoint_path!r}: checkpoint was "
+                f"produced with seed {manifest.seed}, this run uses "
+                f"seed {self.seed}"
+            )
+        if manifest.scale != self.scale:
+            raise CheckpointError(
+                f"cannot resume {self.checkpoint_path!r}: checkpoint was "
+                f"produced at scale {manifest.scale!r}, this run uses "
+                f"scale {self.scale!r}"
+            )
+        self._resumed_hashes = dict(manifest.config_hashes)
 
     # ------------------------------------------------------------------ #
     # Workload construction
@@ -159,7 +213,15 @@ class ExperimentRunner:
         supervision, checkpointing, degradation, and telemetry as named
         ones.
         """
-        self._config_hashes.setdefault(tag, config_hash(config))
+        current_hash = self._config_hashes.setdefault(tag, config_hash(config))
+        resumed = self._resumed_hashes.get(tag)
+        if resumed is not None and resumed != current_hash:
+            raise CheckpointError(
+                f"cannot reuse checkpoint {self.checkpoint_path!r}: config "
+                f"{tag!r} hashes to {current_hash} but the checkpoint was "
+                f"produced with {resumed}; rerun without --resume (or "
+                f"restore the original configuration)"
+            )
         if sample_every is None:
             sample_every = self.sample_every
         cell_trace = None
@@ -181,6 +243,7 @@ class ExperimentRunner:
             record_tlb_trace=record_tlb_trace,
             occupancy_override=occupancy_override,
             telemetry=telemetry,
+            sanitize=self.sanitize,
         )
         key = spec.key
         if key in self._results:

@@ -1,0 +1,57 @@
+"""Runtime invariant checking for the timing model (ASan for the sim).
+
+Usage::
+
+    REPRO_SANITIZE=strict python -m repro run bfs            # via env
+    python -m repro run bfs --sanitize                       # strict
+    python -m repro run bfs --sanitize=cheap                 # low overhead
+
+A :class:`Sanitizer` rides the :class:`~repro.engine.simulator.Simulator`
+and sweeps registered component checkers on a fixed event cadence; any
+breach raises :class:`~repro.engine.errors.SanitizerError` (exit code 9,
+``FAILED(sanitizer:<tag>)`` in reports) and emits a telemetry instant
+with full structural context.  ``REPRO_SANITIZE_INJECT=<tag>``
+deliberately corrupts one invariant so tests/CI can prove each checker
+actually detects its violation class.
+"""
+
+from .checkers import (
+    LifecycleChecker,
+    PartitionChecker,
+    QueueChecker,
+    StatusTableChecker,
+    TLBChecker,
+    WalkerChecker,
+)
+from .core import (
+    CAT_SANITIZER,
+    MODES,
+    SANITIZE_ENV_VAR,
+    SANITIZE_INJECT_ENV,
+    Sanitizer,
+    normalize_mode,
+)
+from .goldens import check_goldens, collect_cells, default_golden_path, write_goldens
+from .selfcheck import SUITES, CheckOutcome, run_suites
+
+__all__ = [
+    "CAT_SANITIZER",
+    "MODES",
+    "SANITIZE_ENV_VAR",
+    "SANITIZE_INJECT_ENV",
+    "Sanitizer",
+    "normalize_mode",
+    "QueueChecker",
+    "TLBChecker",
+    "PartitionChecker",
+    "WalkerChecker",
+    "LifecycleChecker",
+    "StatusTableChecker",
+    "CheckOutcome",
+    "SUITES",
+    "run_suites",
+    "check_goldens",
+    "collect_cells",
+    "default_golden_path",
+    "write_goldens",
+]

@@ -1,0 +1,274 @@
+"""Differential / metamorphic self-check suites (``repro check``).
+
+Each suite states an equivalence the simulator must satisfy by
+construction and then *measures* it, so a refactor that silently breaks
+the property fails a first-class gate instead of skewing figures:
+
+* ``tlb-sharing`` — a TB-id-partitioned L1 TLB at occupancy 1 (every TB
+  owns — i.e. shares — every set, the "unlimited sharing" degenerate
+  point) must be access-for-access equivalent to the baseline shared
+  VPN-indexed TLB: same hits, misses, evictions, and final contents
+  under a long random access stream.
+* ``telemetry`` — attaching a tracer and a time-series sampler must not
+  change a cell's architectural result (observation ≠ perturbation).
+* ``sanitizer`` — running under ``--sanitize=strict`` must not change a
+  cell's result either; the checkers only read.
+* ``resume`` — a sweep interrupted after its first cell and resumed
+  from the checkpoint must reproduce the cold run bit-for-bit, while
+  actually restoring (not re-simulating) the finished cell.
+
+Suites return :class:`CheckOutcome` records rather than raising, so the
+CLI can run all of them and report every failure at once.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Dict, List, Optional
+
+#: cell used by the run-level invariance suites (micro-scale: ~seconds)
+_CELL_BENCHMARK = "bfs"
+_CELL_CONFIG = "partition_sharing"
+
+
+@dataclass
+class CheckOutcome:
+    """Result of one self-check suite."""
+
+    suite: str
+    passed: bool
+    detail: str = ""
+    elapsed: float = 0.0
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        extra = f": {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.suite} ({self.elapsed:.1f}s){extra}"
+
+
+def _result_payload(result, ignore: tuple = ("timeseries",)) -> Dict:
+    """A cell result as a comparable dict, minus telemetry-only fields."""
+    payload = result.to_dict()
+    for key in ignore:
+        payload.pop(key, None)
+    return payload
+
+
+def _diff_payloads(a: Dict, b: Dict) -> Optional[str]:
+    """First differing top-level field between two result payloads."""
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            return (
+                f"field {key!r} differs: {str(a.get(key))[:60]} != "
+                f"{str(b.get(key))[:60]}"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Suite: partitioned TLB with unlimited sharing ≡ shared TLB
+# ---------------------------------------------------------------------- #
+def suite_tlb_sharing(scale: str, seed: int) -> CheckOutcome:
+    """Occupancy-1 TB-id partitioning must equal the shared VPN TLB.
+
+    At occupancy 1 every hardware TB maps to slot 0 and owns all sets —
+    the fully-shared limit of the paper's mechanism.  The insert-set
+    spread then picks ``vpn % num_sets``, exactly the baseline index
+    function, so hit/miss/eviction streams and final contents must be
+    identical for any access stream.  ``scale`` is unused (component
+    level); kept for the uniform suite signature.
+    """
+    from ..core.partitioned_tlb import PartitionedL1TLB
+    from ..translation.tlb import SetAssociativeTLB
+
+    rng = Random(seed)
+    shared = SetAssociativeTLB(64, 4, 1.0, name="shared_ref")
+    partitioned = PartitionedL1TLB(
+        64, 4, 1.0, sharing=None, occupancy=1, name="part_occ1"
+    )
+    for step in range(20_000):
+        roll = rng.random()
+        if roll < 0.02:
+            vpn = rng.randrange(256)
+            shared.invalidate(vpn)
+            partitioned.invalidate(vpn)
+            continue
+        if roll < 0.022:
+            shared.flush()
+            partitioned.flush()
+            continue
+        vpn = rng.randrange(256)
+        tb = rng.randrange(16)
+        hit_s = shared.probe(vpn, tb_id=tb).hit
+        hit_p = partitioned.probe(vpn, tb_id=tb).hit
+        if hit_s != hit_p:
+            return CheckOutcome(
+                "tlb-sharing", False,
+                f"step {step}: shared hit={hit_s} but occupancy-1 "
+                f"partitioned hit={hit_p} (vpn={vpn}, tb={tb})",
+            )
+        if not hit_s:
+            shared.insert(vpn, vpn * 7 + 1, tb_id=tb)
+            partitioned.insert(vpn, vpn * 7 + 1, tb_id=tb)
+    for label, a, b in (
+        ("hits", shared.hits, partitioned.hits),
+        ("misses", shared.misses, partitioned.misses),
+        ("evictions", shared.stats.counter_value("evictions"),
+         partitioned.stats.counter_value("evictions")),
+    ):
+        if a != b:
+            return CheckOutcome(
+                "tlb-sharing", False, f"{label} diverged: {a} != {b}"
+            )
+    contents_s = sorted(
+        (vpn, ppn) for s in shared.sets for vpn, ppn in s.items()
+    )
+    contents_p = sorted(
+        (vpn, ppn) for s in partitioned.sets for vpn, ppn in s.items()
+    )
+    if contents_s != contents_p:
+        return CheckOutcome(
+            "tlb-sharing", False,
+            f"final contents diverged ({len(contents_s)} vs "
+            f"{len(contents_p)} entries)",
+        )
+    return CheckOutcome(
+        "tlb-sharing", True,
+        f"{shared.accesses} accesses, {shared.hits} hits identical",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Run-level invariance suites
+# ---------------------------------------------------------------------- #
+def _simulate(scale: str, seed: int, telemetry=None, sanitize="off"):
+    """One in-process cell for the invariance suites.
+
+    ``sanitize`` defaults to the explicit "off" so suite baselines stay
+    comparable even when the environment exports ``REPRO_SANITIZE``.
+    """
+    from ..engine.supervision import CellSpec, simulate_cell
+    from ..experiments.configs import get_config
+
+    return simulate_cell(
+        CellSpec(
+            benchmark=_CELL_BENCHMARK,
+            config=get_config(_CELL_CONFIG),
+            config_tag=_CELL_CONFIG,
+            scale=scale,
+            seed=seed,
+            telemetry=telemetry,
+            sanitize=sanitize,
+        )
+    )
+
+
+def suite_telemetry(scale: str, seed: int) -> CheckOutcome:
+    """Tracer + sampler attached vs no telemetry: identical results."""
+    from ..telemetry import TelemetrySettings
+
+    plain = _result_payload(_simulate(scale, seed))
+    with tempfile.TemporaryDirectory() as tmp:
+        traced_result = _simulate(
+            scale, seed,
+            telemetry=TelemetrySettings(
+                trace_path=os.path.join(tmp, "cell.trace.json"),
+                sample_every=128,
+            ),
+        )
+    if traced_result.timeseries is None:
+        return CheckOutcome(
+            "telemetry", False, "sampler attached but no timeseries came back"
+        )
+    diff = _diff_payloads(plain, _result_payload(traced_result))
+    if diff is not None:
+        return CheckOutcome("telemetry", False, diff)
+    return CheckOutcome(
+        "telemetry", True,
+        f"{_CELL_BENCHMARK}:{_CELL_CONFIG} identical with tracer+sampler",
+    )
+
+
+def suite_sanitizer(scale: str, seed: int) -> CheckOutcome:
+    """--sanitize=strict vs off: identical results, >0 sweeps executed."""
+    plain = _result_payload(_simulate(scale, seed))
+    sanitized = _result_payload(_simulate(scale, seed, sanitize="strict"))
+    diff = _diff_payloads(plain, sanitized)
+    if diff is not None:
+        return CheckOutcome("sanitizer", False, diff)
+    return CheckOutcome(
+        "sanitizer", True,
+        f"{_CELL_BENCHMARK}:{_CELL_CONFIG} identical under strict sweeps",
+    )
+
+
+def suite_resume(scale: str, seed: int) -> CheckOutcome:
+    """Checkpoint-interrupt-resume must reproduce the cold run exactly."""
+    from ..experiments.runner import ExperimentRunner
+
+    cells = [("bfs", "baseline"), ("bfs", "partition_sharing")]
+
+    def sweep(runner) -> List[Dict]:
+        payloads = [
+            _result_payload(runner.run(bench, cfg)) for bench, cfg in cells
+        ]
+        runner.close()
+        return payloads
+
+    cold = sweep(ExperimentRunner(scale=scale, seed=seed, sanitize="off"))
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "sweep.ckpt")
+        first = ExperimentRunner(
+            scale=scale, seed=seed, checkpoint_path=store, sanitize="off"
+        )
+        first.run(*cells[0])
+        first.close()  # "interrupted" after one cell; manifest written
+        resumed = ExperimentRunner(
+            scale=scale, seed=seed, checkpoint_path=store, resume=True,
+            sanitize="off",
+        )
+        warm = sweep(resumed)
+    if resumed.cells_restored != 1 or resumed.cells_simulated != 1:
+        return CheckOutcome(
+            "resume", False,
+            f"expected 1 restored + 1 simulated cell, got "
+            f"{resumed.cells_restored} + {resumed.cells_simulated}",
+        )
+    for (bench, cfg), a, b in zip(cells, cold, warm):
+        diff = _diff_payloads(a, b)
+        if diff is not None:
+            return CheckOutcome("resume", False, f"{bench}:{cfg} {diff}")
+    return CheckOutcome(
+        "resume", True, f"{len(cells)} cells identical after resume"
+    )
+
+
+#: suite registry: name -> fn(scale, seed) -> CheckOutcome
+SUITES: Dict[str, Callable[[str, int], CheckOutcome]] = {
+    "tlb-sharing": suite_tlb_sharing,
+    "telemetry": suite_telemetry,
+    "sanitizer": suite_sanitizer,
+    "resume": suite_resume,
+}
+
+
+def run_suites(
+    names: Optional[List[str]] = None, scale: str = "micro", seed: int = 0
+) -> List[CheckOutcome]:
+    """Run the named suites (all by default) and time each one."""
+    outcomes: List[CheckOutcome] = []
+    for name in names if names is not None else sorted(SUITES):
+        started = time.monotonic()
+        try:
+            outcome = SUITES[name](scale, seed)
+        except Exception as exc:  # noqa: BLE001 — a crash is a failure
+            outcome = CheckOutcome(
+                name, False, f"suite crashed: {type(exc).__name__}: {exc}"
+            )
+        outcome.elapsed = time.monotonic() - started
+        outcomes.append(outcome)
+    return outcomes

@@ -166,7 +166,35 @@ def build_gpu(
         sim.sampler.add_probe(
             "resident_tbs", lambda: sum(len(sm.resident) for sm in sms)
         )
+    if sim.sanitizer is not None:
+        _register_checkers(sim, sms, l2_tlb, walkers, translation, scheduler)
     return GPU(sim, config, geometry, sms, scheduler, l2_tlb, walkers, partitions)
+
+
+def _register_checkers(sim, sms, l2_tlb, walkers, translation, scheduler) -> None:
+    """Attach the sanitizer's component checkers to a built machine."""
+    from .core.tb_scheduler import TLBAwareScheduler
+    from .sanitizer import (
+        LifecycleChecker,
+        PartitionChecker,
+        QueueChecker,
+        StatusTableChecker,
+        TLBChecker,
+        WalkerChecker,
+    )
+
+    san = sim.sanitizer
+    san.register(QueueChecker(sim.queue))
+    san.register(TLBChecker(l2_tlb, registry=sim.stats))
+    for sm in sms:
+        san.register(TLBChecker(sm.l1_tlb, registry=sim.stats))
+        if hasattr(sm.l1_tlb.policy, "sets_for"):
+            # TB-id-partitioned TLB (with or without a sharing register)
+            san.register(PartitionChecker(sm.l1_tlb))
+    san.register(WalkerChecker(walkers, translation))
+    san.register(LifecycleChecker(sms).bind(san))
+    if isinstance(scheduler, TLBAwareScheduler):
+        san.register(StatusTableChecker(scheduler))
 
 
 def run_kernel(

@@ -47,6 +47,10 @@ class SharedTranslationService:
         self._port_queue = self.stats.histogram("port_queue_delay")
         self._port = SerialResource(port_interval, name="l2_tlb_port")
         self._pending: Dict[int, List[TranslationCallback]] = {}
+        #: walks whose fill completed; with ``len(_pending)`` outstanding
+        #: this mirrors the walker pool's issued counter (the sanitizer's
+        #: conservation law: issued == completed + outstanding)
+        self.walks_completed = 0
 
     def translate(self, vpn: int, now: float, callback: TranslationCallback) -> None:
         """Resolve ``vpn``; ``callback(ppn, level)`` fires at completion time.
@@ -76,6 +80,7 @@ class SharedTranslationService:
 
     def _finish_walk(self, vpn: int, ppn: int) -> None:
         # Fill the shared L2 TLB (Fig 1 step 5), then wake every waiter.
+        self.walks_completed += 1
         self.l2_tlb.insert(vpn, ppn)
         for callback in self._pending.pop(vpn, ()):  # pragma: no branch
             callback(ppn, "walk")

@@ -1,0 +1,150 @@
+"""Tests for ``repro check``: self-check suites and the golden gate."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.sanitizer.goldens import (
+    GOLDEN_METRICS,
+    compare_goldens,
+    default_golden_path,
+    load_goldens,
+    write_goldens,
+)
+from repro.sanitizer.selfcheck import SUITES, run_suites
+
+MICRO = "micro"
+
+
+def make_cells():
+    return {
+        "bfs:baseline": {metric: 100.0 for metric in GOLDEN_METRICS},
+        "bfs:sched": {metric: 90.0 for metric in GOLDEN_METRICS},
+    }
+
+
+class TestGoldenCompare:
+    def write(self, tmp_path, cells):
+        path = str(tmp_path / "goldens.json")
+        write_goldens(path, MICRO, 0, cells)
+        return path
+
+    def test_round_trip_matches(self, tmp_path):
+        cells = make_cells()
+        payload = load_goldens(self.write(tmp_path, cells))
+        assert compare_goldens(cells, payload) == []
+
+    def test_metric_drift_detected(self, tmp_path):
+        cells = make_cells()
+        payload = load_goldens(self.write(tmp_path, cells))
+        cells["bfs:baseline"]["cycles"] = 101.0
+        problems = compare_goldens(cells, payload)
+        assert len(problems) == 1
+        assert "bfs:baseline.cycles" in problems[0]
+
+    def test_tolerance_absorbs_tiny_drift(self, tmp_path):
+        cells = make_cells()
+        path = self.write(tmp_path, cells)
+        payload = load_goldens(path)
+        payload["tolerance"] = 0.05
+        cells["bfs:baseline"]["cycles"] = 104.0  # 4% < 5%
+        assert compare_goldens(cells, payload) == []
+        cells["bfs:baseline"]["cycles"] = 110.0  # 10% > 5%
+        assert compare_goldens(cells, payload) != []
+
+    def test_missing_and_extra_cells_detected(self, tmp_path):
+        cells = make_cells()
+        payload = load_goldens(self.write(tmp_path, cells))
+        del cells["bfs:sched"]
+        cells["bfs:partition"] = {m: 1.0 for m in GOLDEN_METRICS}
+        problems = "\n".join(compare_goldens(cells, payload))
+        assert "bfs:sched" in problems
+        assert "bfs:partition" in problems
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "not_goldens.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="kind"):
+            load_goldens(str(path))
+
+
+class TestSuites:
+    def test_registry_covers_issue_suites(self):
+        assert {"tlb-sharing", "telemetry", "sanitizer", "resume"} <= set(
+            SUITES
+        )
+
+    def test_component_suite_passes(self):
+        (outcome,) = run_suites(["tlb-sharing"], MICRO, 0)
+        assert outcome.passed, outcome.detail
+
+    def test_crashing_suite_reported_not_raised(self, monkeypatch):
+        def boom(scale, seed):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setitem(SUITES, "tlb-sharing", boom)
+        (outcome,) = run_suites(["tlb-sharing"], MICRO, 0)
+        assert not outcome.passed
+        assert "kaput" in outcome.detail
+
+
+class TestCheckCommand:
+    def test_repo_goldens_exist_for_micro(self):
+        """The shipped golden file is part of the regression gate."""
+        path = default_golden_path(MICRO)
+        assert os.path.exists(path), f"missing shipped goldens at {path}"
+        payload = load_goldens(path)
+        assert payload["scale"] == MICRO
+
+    def test_golden_gate_passes_against_repo_goldens(self, capsys):
+        code = main(["check", "--scale", MICRO, "--goldens-only"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "goldens" in out
+
+    def test_suites_via_cli(self, capsys):
+        code = main(
+            ["check", "--scale", MICRO, "--suites", "tlb-sharing",
+             "--skip-goldens"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "[PASS] tlb-sharing" in out
+
+    def test_missing_golden_file_fails_with_hint(self, tmp_path, capsys):
+        code = main(
+            ["check", "--scale", MICRO, "--goldens-only",
+             "--goldens", str(tmp_path / "absent.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--update-goldens" in captured.out
+
+    def test_update_then_gate_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "fresh.json")
+        assert main(
+            ["check", "--scale", MICRO, "--update-goldens",
+             "--skip-goldens", "--suites", "tlb-sharing",
+             "--goldens", path]
+        ) == 0
+        assert os.path.exists(path)
+        capsys.readouterr()
+        code = main(
+            ["check", "--scale", MICRO, "--goldens-only", "--goldens", path]
+        )
+        assert code == 0, capsys.readouterr().out
+
+    def test_drifted_golden_fails_gate(self, tmp_path, capsys):
+        original = load_goldens(default_golden_path(MICRO))
+        original["cells"]["bfs:baseline"]["cycles"] += 1
+        path = str(tmp_path / "drifted.json")
+        with open(path, "w") as handle:
+            json.dump(original, handle)
+        code = main(
+            ["check", "--scale", MICRO, "--goldens-only", "--goldens", path]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "cycles" in captured.out

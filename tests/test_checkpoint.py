@@ -203,3 +203,97 @@ class TestRunnerResume:
                 scale="micro", seed=3, benchmarks=("nw",),
                 checkpoint_path=path, resume=True,
             )
+
+
+class TestResumeManifestValidation:
+    """Satellite (ISSUE 3): --resume cross-validates the RunManifest.
+
+    The checkpoint header pins scale/seed; the manifest sidecar
+    additionally pins a hash per simulated config, so resuming after a
+    config edit is refused instead of silently mixing results.
+    """
+
+    def produce(self, tmp_path, seed=0):
+        path = str(tmp_path / "sweep.jsonl")
+        runner = ExperimentRunner(
+            scale="micro", seed=seed, benchmarks=("nw",),
+            checkpoint_path=path,
+        )
+        runner.run("nw", "baseline")
+        runner.close()  # writes <path>.manifest.json
+        return path
+
+    def test_manifest_written_next_to_checkpoint(self, tmp_path):
+        path = self.produce(tmp_path)
+        manifest = json.load(open(path + ".manifest.json"))
+        assert manifest["kind"] == "repro-manifest"
+        assert "baseline" in manifest["config_hashes"]
+
+    def test_happy_resume_passes_validation(self, tmp_path):
+        path = self.produce(tmp_path)
+        runner = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path,
+            resume=True,
+        )
+        runner.run("nw", "baseline")
+        assert runner.cells_restored == 1
+        assert runner.cells_simulated == 0
+
+    def test_seed_mismatch_refused_via_manifest(self, tmp_path):
+        path = self.produce(tmp_path, seed=1)
+        # remove the header guard's input by keeping the store's seed but
+        # changing the invocation: the manifest check must fire first
+        with pytest.raises(CheckpointError, match="seed"):
+            ExperimentRunner(
+                scale="micro", seed=2, benchmarks=("nw",),
+                checkpoint_path=path, resume=True,
+            )
+
+    def test_config_drift_refused(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments.configs import get_config
+
+        path = self.produce(tmp_path)
+        runner = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path,
+            resume=True,
+        )
+        edited = dataclasses.replace(
+            get_config("baseline"), l2_tlb_entries=128
+        )
+        with pytest.raises(CheckpointError, match="baseline"):
+            runner.run_config("nw", edited, "baseline")
+
+    def test_unknown_tag_not_blocked(self, tmp_path):
+        """Configs the producing run never simulated are fair game."""
+        path = self.produce(tmp_path)
+        runner = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path,
+            resume=True,
+        )
+        result = runner.run("nw", "sched")  # not in the manifest
+        assert result.ok
+
+    def test_missing_manifest_tolerated(self, tmp_path):
+        """Pre-manifest / interrupted checkpoints still resume (the
+        header checks continue to apply)."""
+        import os
+
+        path = self.produce(tmp_path)
+        os.remove(path + ".manifest.json")
+        runner = ExperimentRunner(
+            scale="micro", benchmarks=("nw",), checkpoint_path=path,
+            resume=True,
+        )
+        assert runner.cells_restored == 1
+
+    def test_unreadable_manifest_refused(self, tmp_path):
+        path = self.produce(tmp_path)
+        with open(path + ".manifest.json", "w") as handle:
+            handle.write('{"kind": "not-a-manifest"}')
+        with pytest.raises(CheckpointError, match="manifest"):
+            ExperimentRunner(
+                scale="micro", benchmarks=("nw",), checkpoint_path=path,
+                resume=True,
+            )

@@ -1,0 +1,192 @@
+"""Seeded randomized model checking for the TLB implementations.
+
+A plain-dict reference model replays thousands of random probe /
+insert / invalidate / flush operations against the real TLBs and must
+agree op-for-op on hit/miss, returned PPN, sets probed, eviction
+counts, and full final contents.  The reference reimplements the index
+math from the paper's description (not from the implementation), so the
+two disagree whenever either the storage or the policy drifts.
+
+Configurations covered (satellite 3): shared VPN-indexed, shared with
+granularity > 1 (the compressed TLB's hashed grouping), and TB-id
+partitioned at several occupancies including the over-committed
+``occupancy > num_sets`` modulo regime.
+"""
+
+from collections import OrderedDict
+from random import Random
+
+import pytest
+
+from repro.core.partitioned_tlb import PartitionedL1TLB
+from repro.translation.tlb import SetAssociativeTLB, VPNIndexPolicy
+
+NUM_ENTRIES = 64
+ASSOC = 4
+NUM_SETS = NUM_ENTRIES // ASSOC
+
+
+class ReferenceTLB:
+    """Plain-dict LRU reference with independently-derived index math.
+
+    ``own_sets(tb)`` returns the probe-ordered set list for a TB;
+    insertion prefers ``own[(vpn // granularity) % len(own)]`` (the
+    VPN-spread the paper uses to spread a TB's pages over its sets).
+    """
+
+    def __init__(self, own_sets, granularity=1):
+        self.sets = [OrderedDict() for _ in range(NUM_SETS)]
+        self.own_sets = own_sets
+        self.granularity = granularity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def probe(self, vpn, tb):
+        probed = 0
+        for set_idx in self.own_sets(vpn, tb):
+            probed += 1
+            if vpn in self.sets[set_idx]:
+                self.sets[set_idx].move_to_end(vpn)
+                self.hits += 1
+                return True, self.sets[set_idx][vpn], probed
+        self.misses += 1
+        return False, None, max(probed, 1)
+
+    def insert(self, vpn, ppn, tb):
+        own = list(self.own_sets(vpn, tb))
+        preferred = own[(vpn // self.granularity) % len(own)] if len(
+            own
+        ) > 1 else own[0]
+        ordered = [preferred] + [s for s in own if s != preferred]
+        for set_idx in ordered:
+            if vpn in self.sets[set_idx]:
+                self.sets[set_idx][vpn] = ppn
+                self.sets[set_idx].move_to_end(vpn)
+                return
+        target = self.sets[ordered[0]]
+        if len(target) >= ASSOC:
+            target.popitem(last=False)
+            self.evictions += 1
+        target[vpn] = ppn
+
+    def invalidate(self, vpn):
+        for entry_set in self.sets:
+            entry_set.pop(vpn, None)
+
+    def flush(self):
+        for entry_set in self.sets:
+            entry_set.clear()
+
+    def contents(self):
+        return [sorted(s.items()) for s in self.sets]
+
+
+def shared_sets(granularity):
+    """Baseline VPN indexing: one home set per VPN group."""
+    def own(vpn, tb):
+        return ((vpn // granularity) % NUM_SETS,)
+    return own
+
+
+def partitioned_sets(occupancy):
+    """TB-id tiling from the paper: TB i owns [i*S//T, (i+1)*S//T)."""
+    def own(vpn, tb):
+        if occupancy >= NUM_SETS:
+            return (tb % NUM_SETS,)
+        slot = tb % occupancy
+        return range(
+            (slot * NUM_SETS) // occupancy,
+            ((slot + 1) * NUM_SETS) // occupancy,
+        )
+    return own
+
+
+def make_shared(granularity=1):
+    return SetAssociativeTLB(
+        NUM_ENTRIES, ASSOC, 1.0,
+        policy=VPNIndexPolicy(NUM_SETS, granularity=granularity),
+    )
+
+
+def make_partitioned(occupancy):
+    return PartitionedL1TLB(
+        NUM_ENTRIES, ASSOC, 1.0, sharing=None, occupancy=occupancy
+    )
+
+
+CASES = [
+    pytest.param(lambda: make_shared(1), shared_sets(1), 1, id="shared-g1"),
+    pytest.param(lambda: make_shared(4), shared_sets(4), 1, id="shared-g4"),
+    pytest.param(lambda: make_shared(8), shared_sets(8), 1, id="shared-g8"),
+    pytest.param(
+        lambda: make_partitioned(1), partitioned_sets(1), 1, id="part-occ1"
+    ),
+    pytest.param(
+        lambda: make_partitioned(3), partitioned_sets(3), 1, id="part-occ3"
+    ),
+    pytest.param(
+        lambda: make_partitioned(16), partitioned_sets(16), 1, id="part-occ16"
+    ),
+    pytest.param(
+        lambda: make_partitioned(40), partitioned_sets(40), 1,
+        id="part-overcommit",
+    ),
+]
+
+
+@pytest.mark.parametrize("make_tlb,own_sets,granularity", CASES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_ops_match_reference(make_tlb, own_sets, granularity, seed):
+    rng = Random(seed)
+    tlb = make_tlb()
+    # the reference spreads inserts with the *policy's* granularity
+    policy_granularity = getattr(tlb.policy, "granularity", 1)
+    ref = ReferenceTLB(own_sets, granularity=policy_granularity)
+    for step in range(5_000):
+        roll = rng.random()
+        if roll < 0.06:
+            vpn = rng.randrange(300)
+            tlb.invalidate(vpn)
+            ref.invalidate(vpn)
+            continue
+        if roll < 0.065:
+            tlb.flush()
+            ref.flush()
+            continue
+        vpn = rng.randrange(300)
+        tb = rng.randrange(48)
+        got = tlb.probe(vpn, tb_id=tb)
+        want_hit, want_ppn, want_probed = ref.probe(vpn, tb)
+        assert (got.hit, got.ppn, got.sets_probed) == (
+            want_hit, want_ppn, want_probed
+        ), f"step {step}: probe(vpn={vpn}, tb={tb}) diverged"
+        if not got.hit:
+            ppn = rng.randrange(10_000)
+            tlb.insert(vpn, ppn, tb_id=tb)
+            ref.insert(vpn, ppn, tb)
+        if step % 500 == 0:
+            assert [
+                sorted(s.items()) for s in tlb.sets
+            ] == ref.contents(), f"step {step}: contents diverged"
+    assert tlb.hits == ref.hits
+    assert tlb.misses == ref.misses
+    assert tlb.stats.counter_value("evictions") == ref.evictions
+    assert [sorted(s.items()) for s in tlb.sets] == ref.contents()
+
+
+@pytest.mark.parametrize("occupancy", [1, 3, 5, 16])
+def test_reoccupancy_remaps_consistently(occupancy):
+    """configure_occupancy mid-stream must keep probe/insert coherent:
+    after remapping, a fresh insert is always found by a fresh probe."""
+    tlb = make_partitioned(16)
+    rng = Random(7)
+    for vpn in range(64):
+        tlb.insert(vpn, vpn, tb_id=rng.randrange(16))
+    tlb.configure_occupancy(occupancy)
+    for step in range(500):
+        vpn = 1_000 + step
+        tb = rng.randrange(32)
+        tlb.insert(vpn, vpn * 3, tb_id=tb)
+        result = tlb.probe(vpn, tb_id=tb)
+        assert result.hit and result.ppn == vpn * 3
