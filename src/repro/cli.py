@@ -10,7 +10,15 @@ Commands:
   regression gate (``--update-goldens`` to re-pin after an intentional
   result change);
 * ``trace`` — summarize a Chrome trace file written by ``--trace``;
-* ``list`` — show available benchmarks, configurations, and scales.
+* ``list`` — show available benchmarks, configurations, and scales;
+* ``submit`` — enqueue sweep cells as jobs in a crash-safe service
+  directory (admission-controlled: load is shed beyond the queue's
+  high watermark);
+* ``serve`` — run the WAL-journaled worker pool until the queue is
+  idle; SIGINT/SIGTERM drains leases, flushes telemetry, and journals
+  a clean shutdown; ``kill -9`` + restart recovers losslessly;
+* ``status`` — queue depths, breaker states, lease ages, backpressure
+  (``--check-goldens`` gates recovered results against a golden file).
 
 Every simulating command (``run``, ``compare``, ``report``) accepts the
 same execution-resilience flags (``--timeout``, ``--checkpoint``,
@@ -23,10 +31,15 @@ is written next to every trace and checkpoint.
 Failure contract (see DESIGN.md "Failure modes & recovery"): every
 taxonomy error exits with a class-specific nonzero code (config=3,
 workload=4, livelock=5, timeout=6, worker crash=7, checkpoint=8,
-sanitizer=9) and prints a single machine-readable JSON line on stderr,
-e.g.::
+sanitizer=9, quarantined=10, admission=11, journal=12, interrupted=13)
+and prints a single machine-readable JSON line on stderr, e.g.::
 
     {"error": "livelock", "message": "...", "exit_code": 5}
+
+``run`` and ``compare`` install two-stage signal handling: the first
+SIGINT/SIGTERM triggers a graceful drain (final checkpoint + trace
+flush, unfinished cells degrade to ``FAILED(interrupted)``, exit 13);
+a second signal hard-exits with ``128 + signum``.
 
 ``--timeout`` runs cells in supervised subprocess workers with a
 wall-clock watchdog; ``report --checkpoint/--resume`` makes a long
@@ -44,8 +57,15 @@ import json
 import sys
 from typing import List, Optional
 
-from .engine.errors import SimulationError, classify
+from .engine.errors import (
+    AdmissionError,
+    ConfigError,
+    InterruptedRunError,
+    SimulationError,
+    classify,
+)
 from .engine.faults import FaultPlan
+from .engine.interrupt import GracefulInterrupt
 from .experiments.configs import CONFIGS
 from .experiments.runner import ExperimentRunner
 from .workloads import BENCHMARKS, SCALES, TABLE2
@@ -136,9 +156,28 @@ def _finish_runner(runner: ExperimentRunner) -> None:
         print(f"manifest         {runner.trace_path}.manifest.json")
 
 
+def _drain_runner(
+    runner: ExperimentRunner, interrupt: GracefulInterrupt
+) -> None:
+    """Graceful-drain epilogue: flush artifacts with further signals
+    deferred, so a second Ctrl-C during the flush still hard-exits but
+    a single one cannot tear a checkpoint or trace mid-write."""
+    with interrupt.shield():
+        _finish_runner(runner)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
-    result = runner.run(args.benchmark, args.config)
+    with GracefulInterrupt() as interrupt:
+        try:
+            result = runner.run(args.benchmark, args.config)
+        except InterruptedRunError:
+            _drain_runner(runner, interrupt)
+            print(
+                f"{args.benchmark}/{args.config}: FAILED(interrupted)",
+                file=sys.stderr,
+            )
+            raise
     print(f"benchmark        {args.benchmark} ({args.scale})")
     print(f"configuration    {args.config}")
     print(f"cycles           {result.cycles:.0f}")
@@ -156,19 +195,88 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMPARE_HEADER = (
+    f"{'config':20s} {'L1 hit':>8s} {'cycles':>12s} {'norm.':>7s}"
+)
+
+
+def _compare_row(name: str, result, base: Optional[float]) -> str:
+    return (
+        f"{name:20s} {result.avg_l1_tlb_hit_rate:8.3f} "
+        f"{result.cycles:12.0f} "
+        f"{result.cycles / (base or result.cycles):7.3f}"
+    )
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
+    if args.service or args.service_dir:
+        return _compare_via_service(args)
     runner = _make_runner(args)
     base = None
-    print(f"{'config':20s} {'L1 hit':>8s} {'cycles':>12s} {'norm.':>7s}")
-    for name in args.configs:
-        result = runner.run(args.benchmark, name)
-        if base is None:
-            base = result.cycles
-        print(
-            f"{name:20s} {result.avg_l1_tlb_hit_rate:8.3f} "
-            f"{result.cycles:12.0f} {result.cycles / base:7.3f}"
-        )
+    print(_COMPARE_HEADER)
+    with GracefulInterrupt() as interrupt:
+        i = 0
+        try:
+            for i, name in enumerate(args.configs):
+                result = runner.run(args.benchmark, name)
+                if base is None:
+                    base = result.cycles
+                print(_compare_row(name, result, base))
+        except InterruptedRunError:
+            # the interrupted cell and everything after it degrade to
+            # FAILED(interrupted) rows; finished rows already printed
+            for name in args.configs[i:]:
+                print(f"{name:20s} {'FAILED(interrupted)':>8s}")
+            _drain_runner(runner, interrupt)
+            raise
     _finish_runner(runner)
+    return 0
+
+
+def _compare_via_service(args: argparse.Namespace) -> int:
+    """``compare --service``: route the cells through the job queue.
+
+    Submissions are idempotent, every transition is journaled, and an
+    interrupted run exits 13 with the queue intact — re-running the
+    same command resumes exactly where the drain stopped.
+    """
+    from .arch.gpu import RunResult
+    from .service import DONE
+
+    if args.trace or args.sample_every:
+        raise ConfigError(
+            "--service runs cells through supervised queue workers; "
+            "--trace/--sample-every are only available on the inline path"
+        )
+    service = _make_service(args)
+    try:
+        service.recover()
+        for name in args.configs:
+            service.submit(args.benchmark, name)
+        with GracefulInterrupt(raising=False) as interrupt:
+            service.run(interrupt)
+            interrupted = interrupt.requested
+        base = None
+        print(_COMPARE_HEADER)
+        jobs = service.state.results()
+        for name in args.configs:
+            job = jobs.get((args.benchmark, name))
+            if job is not None and job.state == DONE:
+                result = RunResult.from_dict(job.result)
+                if base is None:
+                    base = result.cycles
+                print(_compare_row(name, result, base))
+            else:
+                marker = job.marker if job is not None else "MISSING"
+                print(f"{name:20s} {marker:>8s}")
+        pending = len(service.state.pending())
+    finally:
+        service.close()
+    if interrupted and pending:
+        raise InterruptedRunError(
+            f"compare --service drained with {pending} job(s) still "
+            f"queued; re-run the same command to resume"
+        )
     return 0
 
 
@@ -254,6 +362,156 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_dir(args: argparse.Namespace) -> str:
+    return getattr(args, "service_dir", None) or (
+        f".repro_service.{args.scale}"
+    )
+
+
+def _make_service(args: argparse.Namespace):
+    """Build a SweepService from (possibly partial) CLI flags."""
+    from .engine.supervision import RetryPolicy
+    from .service import AdmissionPolicy, BreakerPolicy, SweepService
+
+    admission = AdmissionPolicy(
+        max_depth=getattr(args, "max_depth", 256),
+        high_watermark=getattr(args, "high_watermark", 64),
+        low_watermark=getattr(args, "low_watermark", 32),
+    )
+    breaker = BreakerPolicy(
+        window=getattr(args, "breaker_window", 8),
+        failure_threshold=getattr(args, "breaker_threshold", 3),
+        cooldown=getattr(args, "breaker_cooldown", 2),
+    )
+    retry = RetryPolicy(
+        max_attempts=getattr(args, "retries", 3),
+        jitter=getattr(args, "retry_jitter", 0.1),
+    )
+    return SweepService(
+        _service_dir(args),
+        scale=args.scale,
+        seed=args.seed,
+        timeout=getattr(args, "timeout", None),
+        retry=retry,
+        fault_plan=FaultPlan.from_env(),
+        sanitize=getattr(args, "sanitize", None),
+        admission=admission,
+        breaker_policy=breaker,
+        lease_ttl=getattr(args, "lease_ttl", 60.0),
+        compact_after=getattr(args, "compact_after", 256),
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    shed: Optional[AdmissionError] = None
+    try:
+        service.recover()
+        for benchmark in args.benchmarks:
+            for name in args.configs:
+                try:
+                    job = service.submit(benchmark, name)
+                except AdmissionError as exc:
+                    print(f"shed             {benchmark}:{name} "
+                          f"({exc})", file=sys.stderr)
+                    shed = exc
+                else:
+                    print(f"submitted        {job.job_id} "
+                          f"[{job.state.lower()}]")
+        depths = service.state.depths()
+        print("queue            "
+              + " ".join(f"{s.lower()}={n}" for s, n in depths.items()))
+    finally:
+        service.close()
+    if shed is not None:
+        raise shed  # admission refusals surface as exit 11
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    try:
+        reclaimed = service.recover()
+        if reclaimed:
+            print(f"reclaimed        {reclaimed} stale lease(s)")
+        # raising=False: the pool loop polls interrupt.requested after
+        # each job, so the in-flight lease is honoured and the shutdown
+        # record is journaled on the normal path
+        with GracefulInterrupt(raising=False) as interrupt:
+            depths = service.run(interrupt)
+            drained = interrupt.requested
+        print("queue            "
+              + " ".join(f"{s.lower()}={n}" for s, n in depths.items()))
+        counters = " ".join(
+            f"{k}={v}" for k, v in service.state.counters.items()
+        )
+        print(f"counters         {counters}")
+        if drained:
+            print(f"drained          {len(service.state.pending())} "
+                  f"job(s) left queued for the next incarnation")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import os
+
+    from .service import JOURNAL_NAME, Journal, SweepService
+
+    directory = _service_dir(args)
+    journal_path = os.path.join(directory, JOURNAL_NAME)
+    header = Journal.peek_header(journal_path)
+    if header is None:
+        print(f"no service journal at {journal_path}", file=sys.stderr)
+        return 1
+    # bind to the journal's own identity: status must never replay a
+    # journal under a different (scale, seed) than it was written with
+    service = SweepService(
+        directory,
+        scale=header.get("scale", args.scale),
+        seed=header.get("seed", args.seed),
+    )
+    service.recover(readonly=True)
+    print(f"service          {directory} "
+          f"(scale={service.scale}, seed={service.seed})")
+    for line in service.status_lines():
+        print(line)
+    if args.check_goldens:
+        passed, lines = service.golden_gate(args.check_goldens)
+        mark = "PASS" if passed else "FAIL"
+        for line in lines:
+            print(f"[{mark}] goldens: {line}")
+        return 0 if passed else 1
+    return 0
+
+
+def _add_service_group(
+    parser: argparse.ArgumentParser, admission: bool = True
+) -> None:
+    group = parser.add_argument_group("sweep service")
+    group.add_argument(
+        "--service-dir", default=None, metavar="DIR", dest="service_dir",
+        help="service directory holding the journal "
+             "(default: .repro_service.<scale>)",
+    )
+    if not admission:
+        return
+    group.add_argument(
+        "--max-depth", type=int, default=256, dest="max_depth",
+        help="hard queue-depth cap; submissions beyond it are shed",
+    )
+    group.add_argument(
+        "--high-watermark", type=int, default=64, dest="high_watermark",
+        help="depth at which admission starts shedding (hysteresis "
+             "releases at --low-watermark)",
+    )
+    group.add_argument(
+        "--low-watermark", type=int, default=32, dest="low_watermark",
+        help="depth at which backpressure releases",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -279,6 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--configs", nargs="+", default=["baseline", "partition_sharing"],
         choices=sorted(CONFIGS),
     )
+    p_cmp.add_argument(
+        "--service", action="store_true",
+        help="route the cells through the crash-safe sweep service "
+             "queue (journaled, resumable after kill -9)",
+    )
+    _add_service_group(p_cmp, admission=False)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_rep = sub.add_parser("report", help="regenerate all tables/figures")
@@ -328,6 +592,95 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--top", type=int, default=5,
                          help="rows in the top-N tables (default: 5)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="enqueue sweep cells into the crash-safe service queue",
+    )
+    p_sub.add_argument(
+        "benchmarks", nargs="+", choices=BENCHMARKS, metavar="BENCH",
+        help="Table II benchmark name(s)",
+    )
+    p_sub.add_argument(
+        "--configs", nargs="+", default=["baseline"],
+        choices=sorted(CONFIGS),
+    )
+    p_sub.add_argument("--scale", default="small", choices=sorted(SCALES))
+    p_sub.add_argument("--seed", type=int, default=0)
+    _add_service_group(p_sub)
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the WAL-journaled worker pool until the queue drains",
+    )
+    p_srv.add_argument("--scale", default="small", choices=sorted(SCALES))
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell (supervised workers)",
+    )
+    p_srv.add_argument(
+        "--sanitize", nargs="?", const="strict", default=None,
+        choices=["strict", "cheap", "off"], metavar="MODE",
+        help="runtime invariant checking, including the service-queue "
+             "invariants after every job",
+    )
+    p_srv.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="max attempts per cell before it fails terminally",
+    )
+    p_srv.add_argument(
+        "--retry-jitter", type=float, default=0.1, dest="retry_jitter",
+        metavar="FRACTION",
+        help="max extra backoff as a fraction of the base delay; drawn "
+             "deterministically from the run seed and cell identity",
+    )
+    p_srv.add_argument(
+        "--lease-ttl", type=float, default=60.0, dest="lease_ttl",
+        metavar="SECONDS",
+        help="heartbeat TTL before a lease counts as stale",
+    )
+    p_srv.add_argument(
+        "--compact-after", type=int, default=256, dest="compact_after",
+        metavar="RECORDS",
+        help="snapshot-compact the journal at shutdown once it holds "
+             "this many records",
+    )
+    group = p_srv.add_argument_group("circuit breaker")
+    group.add_argument(
+        "--breaker-window", type=int, default=8, dest="breaker_window",
+        help="sliding window of attempt outcomes per workload",
+    )
+    group.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        dest="breaker_threshold",
+        help="failures in the window that trip the breaker open",
+    )
+    group.add_argument(
+        "--breaker-cooldown", type=int, default=2,
+        dest="breaker_cooldown",
+        help="denied jobs before an open breaker half-opens for a probe",
+    )
+    _add_service_group(p_srv)
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_st = sub.add_parser(
+        "status",
+        help="queue depths, breaker states, lease ages, backpressure",
+    )
+    p_st.add_argument("--scale", default="small", choices=sorted(SCALES),
+                      help="locates the default service directory; the "
+                           "journal header overrides it")
+    p_st.add_argument("--seed", type=int, default=0)
+    p_st.add_argument(
+        "--check-goldens", default=None, metavar="PATH",
+        dest="check_goldens",
+        help="gate the service's DONE results against this golden file "
+             "(exit 1 on mismatch)",
+    )
+    _add_service_group(p_st, admission=False)
+    p_st.set_defaults(func=cmd_status)
 
     p_list = sub.add_parser("list", help="list benchmarks/configs/scales")
     p_list.set_defaults(func=cmd_list)

@@ -1,0 +1,94 @@
+"""Atomic durable writes: one helper for every whole-file artifact.
+
+Every on-disk artifact that is written in one piece — manifests, golden
+files, journal snapshots, compacted checkpoint stores, workload caches —
+goes through :func:`atomic_write` (text/bytes payloads) or
+:func:`atomic_path` (libraries that insist on writing a path
+themselves, e.g. ``np.savez``).  Both follow the same discipline:
+
+1. write the full payload to a temp file *in the destination directory*
+   (same filesystem, so the final rename cannot cross devices);
+2. flush and ``fsync`` the temp file, so the data is on the platter
+   before the name exists;
+3. ``os.replace`` onto the destination (atomic on POSIX);
+4. ``fsync`` the directory, so the rename itself survives power loss.
+
+A crash — including SIGKILL — at any point leaves either the complete
+old file or the complete new file, never a torn hybrid.  Failed writes
+clean up their temp file instead of littering the directory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Union
+
+
+def _fsync_dir(directory: str) -> None:
+    """Persist a rename by fsyncing its directory (best effort)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return  # e.g. a filesystem that cannot open directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _tmp_name(path: str) -> str:
+    """Temp-file name next to ``path``, keeping the extension.
+
+    The extension is preserved *after* the ``.tmp`` marker
+    (``graph.npz`` → ``graph.npz.tmp.npz``) so extension-sniffing
+    writers like ``np.savez`` do not append their own.
+    """
+    ext = os.path.splitext(path)[1]
+    return f"{path}.tmp{ext}"
+
+
+@contextlib.contextmanager
+def atomic_path(path: str, fsync: bool = True) -> Iterator[str]:
+    """Yield a temp path; on clean exit, atomically move it to ``path``.
+
+    For writers that must control the file themselves (``np.savez``,
+    ``json.dump`` on a handle the caller opens, ...).  On an exception
+    the temp file is removed and the destination is left untouched.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = _tmp_name(path)
+    try:
+        yield tmp
+        if fsync:
+            fd = os.open(tmp, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        os.replace(tmp, path)
+        if fsync:
+            _fsync_dir(directory)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.remove(tmp)
+        raise
+
+
+def atomic_write(
+    path: str, data: Union[str, bytes], fsync: bool = True
+) -> str:
+    """Atomically replace ``path`` with ``data`` (temp + rename + fsync).
+
+    Returns ``path``.  Readers racing the writer see either the old or
+    the new contents, and SIGKILL mid-write never tears the file.
+    """
+    mode = "wb" if isinstance(data, bytes) else "w"
+    with atomic_path(path, fsync=fsync) as tmp:
+        with open(tmp, mode) as handle:
+            handle.write(data)
+    return path

@@ -152,10 +152,45 @@ class CheckpointStore:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
-    def close(self) -> None:
+    def compact(self) -> None:
+        """Atomically rewrite the store from its intact records.
+
+        Appends are crash-tolerant but not atomic: a SIGKILL mid-write
+        leaves a torn final line that every later ``load`` must skip.
+        Compaction squeezes that tail out by round-tripping the intact
+        records through :func:`~repro.engine.atomic.atomic_write`, so a
+        store that was closed cleanly is byte-exact JSONL with no
+        salvage needed on resume.
+        """
+        from .atomic import atomic_write
+
+        results = self.load()
+        header = {
+            "kind": _HEADER_KIND,
+            "version": CHECKPOINT_VERSION,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+        lines = [json.dumps(header)]
+        for key, result in results.items():
+            lines.append(
+                json.dumps(
+                    {
+                        "key": list(key),
+                        "crc": zlib.crc32(_canonical(result)),
+                        "result": result,
+                    }
+                )
+            )
+        atomic_write(self.path, "\n".join(lines) + "\n")
+
+    def close(self, compact: bool = False) -> None:
+        wrote = self._handle is not None
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        if compact and wrote and self.exists():
+            self.compact()
 
     def discard(self) -> None:
         """Delete the on-disk file (start-fresh semantics)."""

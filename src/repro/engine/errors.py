@@ -100,6 +100,53 @@ class SanitizerError(SimulationError):
             self.error_class = f"sanitizer:{tag}"
 
 
+class QuarantinedError(SimulationError):
+    """A workload's circuit breaker opened: the cell was refused without
+    running because its workload failed repeatedly (see
+    :mod:`repro.service.breaker`).
+
+    Carries the error class that tripped the breaker; the effective
+    ``error_class`` is ``quarantined:<class>`` so reports degrade to
+    ``FAILED(quarantined:<class>)`` and the offending failure kind stays
+    visible in every artifact.
+    """
+
+    error_class = "quarantined"
+    exit_code = 10
+
+    def __init__(self, message: str, cause_class: str = "") -> None:
+        super().__init__(message)
+        #: taxonomy class of the failures that opened the breaker
+        self.cause_class = cause_class
+        if cause_class:
+            self.error_class = f"quarantined:{cause_class}"
+
+
+class AdmissionError(SimulationError):
+    """The service refused to enqueue a job: the queue is beyond its
+    high-watermark (load shed) or at its hard depth cap."""
+
+    error_class = "admission"
+    exit_code = 11
+
+
+class JournalError(SimulationError):
+    """The service write-ahead log is corrupt, from an incompatible
+    version, or records an illegal state transition."""
+
+    error_class = "journal"
+    exit_code = 12
+
+
+class InterruptedRunError(SimulationError):
+    """The run was interrupted (SIGINT/SIGTERM) and drained gracefully:
+    checkpoints and telemetry were flushed, unfinished cells degrade to
+    ``FAILED(interrupted)``."""
+
+    error_class = "interrupted"
+    exit_code = 13
+
+
 #: error_class tag -> exception type (parent-side reconstruction map)
 ERROR_CLASSES: Dict[str, Type[SimulationError]] = {
     cls.error_class: cls
@@ -112,6 +159,10 @@ ERROR_CLASSES: Dict[str, Type[SimulationError]] = {
         WorkerCrash,
         CheckpointError,
         SanitizerError,
+        QuarantinedError,
+        AdmissionError,
+        JournalError,
+        InterruptedRunError,
     )
 }
 
@@ -124,6 +175,11 @@ def error_from_class(error_class: str, message: str) -> SimulationError:
     if error_class.startswith("sanitizer"):
         # sanitizer tags travel inside the class: "sanitizer:<tag>"
         return SanitizerError(message, tag=error_class.partition(":")[2])
+    if error_class.startswith("quarantined"):
+        # the breaker's trip cause travels inside: "quarantined:<class>"
+        return QuarantinedError(
+            message, cause_class=error_class.partition(":")[2]
+        )
     cls = ERROR_CLASSES.get(error_class, SimulationError)
     if cls is ConfigError:
         return cls(message)

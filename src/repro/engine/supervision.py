@@ -22,7 +22,9 @@ only reaches upward inside a running worker.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
@@ -93,16 +95,35 @@ class CellFailure:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Deterministic exponential backoff for transient failures."""
+    """Deterministic exponential backoff for transient failures.
+
+    ``jitter`` spreads retries of concurrent cells apart by up to that
+    fraction of the base delay — but *deterministically*: the jitter
+    fraction ``u`` is derived by :meth:`Supervisor.jitter_u` from the
+    run seed and the cell identity, never from wall-clock entropy, so
+    two equal-seed fault-injected runs retry on byte-identical
+    schedules (the PR 2 trace-determinism guarantee extends to faulty
+    runs).
+    """
 
     #: total attempts (first try + retries)
     max_attempts: int = 3
     backoff_base: float = 0.25
     backoff_factor: float = 2.0
+    #: max extra delay as a fraction of the base delay (0 = no jitter)
+    jitter: float = 0.0
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retrying after failed attempt ``attempt`` (0-based)."""
-        return self.backoff_base * (self.backoff_factor ** attempt)
+    def delay(self, attempt: int, u: float = 0.0) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (0-based).
+
+        ``u`` is the deterministic jitter draw in ``[0, 1)``; the
+        effective delay is ``base * factor**attempt * (1 + jitter*u)``.
+        """
+        return (
+            self.backoff_base
+            * (self.backoff_factor ** attempt)
+            * (1.0 + self.jitter * u)
+        )
 
 
 def simulate_cell(spec: CellSpec) -> Any:
@@ -168,6 +189,12 @@ def simulate_cell(spec: CellSpec) -> Any:
 
 def _worker_main(spec: CellSpec, fault: Optional[FaultSpec], conn) -> None:
     """Subprocess entry point: run one attempt, report over the pipe."""
+    # A terminal Ctrl-C signals the whole foreground process group; the
+    # drain decision belongs to the supervising parent (see
+    # engine/interrupt.py).  A worker that died to the shared SIGINT
+    # would look like a transient crash and be pointlessly retried.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
     try:
         if fault is not None:
             trigger(fault)
@@ -193,6 +220,13 @@ class Supervisor:
     sleep: Callable[[float], None] = time.sleep
     #: injectable clock for elapsed accounting
     clock: Callable[[], float] = time.monotonic
+    #: called while a worker runs, every ``heartbeat_interval`` seconds
+    #: of pipe-poll waiting (the service renews its lease here)
+    heartbeat: Optional[Callable[[], None]] = None
+    heartbeat_interval: float = 1.0
+    #: called before each backoff sleep: ``on_retry(attempt, exc)``
+    #: (the service journals RETRIED records through this hook)
+    on_retry: Optional[Callable[[int, SimulationError], None]] = None
 
     def __post_init__(self) -> None:
         # fork keeps worker start cheap and needs no pickling of targets;
@@ -229,10 +263,26 @@ class Supervisor:
                     exc.attempts = attempt + 1
                     exc.elapsed = self.clock() - started
                     raise
-                self.sleep(self.retry.delay(attempt))
+                if self.on_retry is not None:
+                    self.on_retry(attempt, exc)
+                self.sleep(
+                    self.retry.delay(attempt, self.jitter_u(spec, attempt))
+                )
                 continue
             return result
         raise last_exc  # unreachable: loop always returns or raises
+
+    @staticmethod
+    def jitter_u(spec: CellSpec, attempt: int) -> float:
+        """Deterministic jitter draw in ``[0, 1)`` for one retry.
+
+        A pure function of (run seed, cell identity, attempt): equal-seed
+        runs back off on identical schedules, while distinct cells of
+        one sweep still spread apart.
+        """
+        token = f"{spec.seed}:{spec.benchmark}:{spec.config_tag}:{attempt}"
+        digest = hashlib.sha256(token.encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
 
     # ------------------------------------------------------------------ #
     # One supervised attempt
@@ -247,7 +297,7 @@ class Supervisor:
         proc.start()
         child_conn.close()
         try:
-            if not parent_conn.poll(self.timeout):
+            if not self._wait_for_report(parent_conn):
                 self._kill(proc)
                 raise CellTimeoutError(
                     f"cell ({spec.benchmark}, {spec.config_tag}) exceeded "
@@ -274,6 +324,30 @@ class Supervisor:
             error_class,
             f"cell ({spec.benchmark}, {spec.config_tag}): {text}",
         )
+
+    def _wait_for_report(self, parent_conn) -> bool:
+        """Poll the worker pipe until it reports or the watchdog fires.
+
+        With a ``heartbeat`` installed, the wait is sliced so the
+        callback runs every ``heartbeat_interval`` seconds — the service
+        renews the job's lease there, proving the supervising process is
+        alive without journal traffic proportional to cell runtime.
+        """
+        if self.heartbeat is None:
+            return parent_conn.poll(self.timeout)
+        deadline = (
+            None if self.timeout is None else self.clock() + self.timeout
+        )
+        while True:
+            wait = self.heartbeat_interval
+            if deadline is not None:
+                remaining = deadline - self.clock()
+                if remaining <= 0:
+                    return False
+                wait = min(wait, remaining)
+            if parent_conn.poll(wait):
+                return True
+            self.heartbeat()
 
     @staticmethod
     def _kill(proc) -> None:

@@ -358,7 +358,9 @@ class ExperimentRunner:
         if merged is not None:
             self.write_manifest("trace", merged)
         if self._store is not None:
-            self._store.close()
+            # compaction squeezes out any torn tail a crashed ancestor
+            # left behind, so the surviving store is byte-exact JSONL
+            self._store.close(compact=True)
             self.write_manifest("checkpoint", self._store.path)
 
 

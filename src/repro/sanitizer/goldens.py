@@ -92,7 +92,8 @@ def load_goldens(path: str) -> Dict:
 def write_goldens(
     path: str, scale: str, seed: int, cells: Dict[str, Dict[str, float]]
 ) -> str:
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    from ..engine.atomic import atomic_write
+
     payload = {
         "kind": GOLDEN_KIND,
         "version": GOLDEN_VERSION,
@@ -101,10 +102,8 @@ def write_goldens(
         "tolerance": DEFAULT_TOLERANCE,
         "cells": {key: cells[key] for key in sorted(cells)},
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    return path
+    # atomic: the regression gate must never see a half-written pin file
+    return atomic_write(path, json.dumps(payload, indent=2) + "\n")
 
 
 def _within(current: float, golden: float, tolerance: float) -> bool:

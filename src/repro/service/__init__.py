@@ -1,0 +1,70 @@
+"""Crash-safe sweep service: WAL-journaled queue, breakers, admission.
+
+The durable, self-protecting execution layer behind ``repro serve`` /
+``repro submit`` / ``repro status`` and ``repro compare --service``.
+See DESIGN.md §9 for the journal format, the job state machine, the
+breaker policy, and recovery semantics.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from .breaker import (
+    BREAKER_STATES,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from .invariants import check_service_invariants
+from .journal import JOURNAL_NAME, JOURNAL_VERSION, Journal
+from .leases import Lease, LeaseTable
+from .pool import PIDFILE_NAME, SweepService, job_id_for
+from .state import (
+    DONE,
+    FAILED,
+    JOB_STATES,
+    LEASED,
+    LEGAL_TRANSITIONS,
+    QUARANTINED,
+    RUNNING,
+    SUBMITTED,
+    TERMINAL_STATES,
+    Job,
+    QueueState,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "BREAKER_STATES",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CLOSED",
+    "DONE",
+    "FAILED",
+    "HALF_OPEN",
+    "JOB_STATES",
+    "JOURNAL_NAME",
+    "JOURNAL_VERSION",
+    "Job",
+    "Journal",
+    "LEASED",
+    "LEGAL_TRANSITIONS",
+    "Lease",
+    "LeaseTable",
+    "OPEN",
+    "PIDFILE_NAME",
+    "QUARANTINED",
+    "QueueState",
+    "RUNNING",
+    "SUBMITTED",
+    "SweepService",
+    "TERMINAL_STATES",
+    "check_service_invariants",
+    "job_id_for",
+]

@@ -1,0 +1,212 @@
+"""Per-workload circuit breakers: quarantine repeat offenders.
+
+A pathological workload — an irregular CSR-graph stream that livelocks
+the walker, a benchmark whose generator OOM-kills every worker — must
+not burn the whole sweep's retry budget.  Each workload (benchmark) gets
+one :class:`CircuitBreaker` with the classic three states:
+
+* **CLOSED** — failures are counted in a sliding window of recent
+  attempt outcomes; reaching ``failure_threshold`` failures within
+  ``window`` outcomes trips the breaker;
+* **OPEN** — jobs for the workload are refused *without running* and
+  journaled as QUARANTINED, carrying the dominant error class that
+  tripped the breaker (``FAILED(quarantined:<class>)`` in reports);
+  after ``cooldown`` refused jobs the breaker moves to half-open;
+* **HALF_OPEN** — exactly one probe job is admitted with a single
+  attempt (no retry budget); success closes the breaker, failure
+  re-opens it.
+
+Counting *attempt-level* outcomes (each retry reports through
+:meth:`record_failure`) means an always-crashing workload trips its
+breaker within the very first job's retry loop instead of after
+``threshold`` whole jobs.
+
+Breakers are deterministic — counts of events, never wall-clock — so an
+equal-seed rerun quarantines exactly the same cells.  State survives
+compaction via :meth:`to_payload`/:meth:`from_payload` and is otherwise
+rebuilt by replaying the journal's outcome records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Tuple
+
+CLOSED = "CLOSED"
+OPEN = "OPEN"
+HALF_OPEN = "HALF_OPEN"
+
+BREAKER_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Failure-rate window and probing cadence for one breaker."""
+
+    #: sliding window length (attempt outcomes)
+    window: int = 8
+    #: failures within the window that trip the breaker
+    failure_threshold: int = 3
+    #: jobs refused while OPEN before a half-open probe is admitted
+    cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.failure_threshold < 1:
+            raise ValueError(
+                f"breaker window/threshold must be >= 1, got "
+                f"{self.window}/{self.failure_threshold}"
+            )
+        if self.failure_threshold > self.window:
+            raise ValueError(
+                f"failure_threshold {self.failure_threshold} cannot exceed "
+                f"window {self.window}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker for one workload."""
+
+    def __init__(
+        self, workload: str, policy: BreakerPolicy = BreakerPolicy()
+    ) -> None:
+        self.workload = workload
+        self.policy = policy
+        self.state = CLOSED
+        #: recent attempt outcomes, True = success (sliding window)
+        self._outcomes: Deque[bool] = deque(maxlen=policy.window)
+        #: error-class histogram of window failures (quarantine cause)
+        self._classes: Counter = Counter()
+        #: jobs refused since the breaker opened
+        self._denied = 0
+        #: total trips (telemetry)
+        self.trips = 0
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def allow(self) -> Tuple[bool, str]:
+        """May the next job for this workload run?
+
+        Returns ``(True, "")`` for a normal run, ``(True, "probe")``
+        for the single half-open probe (run it with one attempt, no
+        retries), and ``(False, reason)`` when the job must be
+        quarantined instead.
+        """
+        if self.state == CLOSED:
+            return True, ""
+        if self.state == HALF_OPEN:
+            return True, "probe"
+        # OPEN: refuse until the cooldown has been served
+        if self._denied >= self.policy.cooldown:
+            self.state = HALF_OPEN
+            return True, "probe"
+        self._denied += 1
+        return False, (
+            f"breaker open for {self.workload!r}: "
+            f"{self.failures_in_window()}/{self.policy.window} recent "
+            f"attempts failed ({self.dominant_class()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Outcome accounting
+    # ------------------------------------------------------------------ #
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            # probe succeeded: full reset, the workload has recovered
+            self.state = CLOSED
+            self._outcomes.clear()
+            self._classes.clear()
+            self._denied = 0
+            return
+        self._append(True, "")
+
+    def record_failure(self, error_class: str) -> None:
+        if self.state == HALF_OPEN:
+            # probe failed: straight back to OPEN, restart the cooldown
+            self.state = OPEN
+            self._denied = 0
+            self._append(False, error_class)
+            return
+        self._append(False, error_class)
+        if (
+            self.state == CLOSED
+            and self.failures_in_window() >= self.policy.failure_threshold
+        ):
+            self.state = OPEN
+            self._denied = 0
+            self.trips += 1
+
+    def _append(self, ok: bool, error_class: str) -> None:
+        if len(self._outcomes) == self._outcomes.maxlen and self._outcomes:
+            # evict the oldest outcome's class bookkeeping
+            oldest_ok = self._outcomes[0]
+            if not oldest_ok:
+                self._evict_oldest_class()
+        self._outcomes.append(ok)
+        if not ok:
+            self._classes[error_class] += 1
+
+    def _evict_oldest_class(self) -> None:
+        # The window stores only booleans; classes are a histogram that
+        # must shrink with evictions.  Evict the least-recently common
+        # class deterministically: decrement the alphabetically first
+        # class with a nonzero count (exactness of *which* failure aged
+        # out does not affect decisions, only the quarantine label).
+        for name in sorted(self._classes):
+            if self._classes[name] > 0:
+                self._classes[name] -= 1
+                if self._classes[name] == 0:
+                    del self._classes[name]
+                return
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def failures_in_window(self) -> int:
+        return sum(1 for ok in self._outcomes if not ok)
+
+    def dominant_class(self) -> str:
+        """The error class responsible for most window failures."""
+        if not self._classes:
+            return "simulation"
+        # deterministic tie-break: count desc, then name
+        return min(self._classes, key=lambda c: (-self._classes[c], c))
+
+    def describe(self) -> str:
+        """One status line, e.g. ``bfs OPEN (worker_crash 3/8)``."""
+        detail = ""
+        if self.failures_in_window():
+            detail = (
+                f" ({self.dominant_class()} "
+                f"{self.failures_in_window()}/{self.policy.window})"
+            )
+        return f"{self.workload} {self.state}{detail}"
+
+    # ------------------------------------------------------------------ #
+    # Snapshots (journal compaction)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "state": self.state,
+            "outcomes": [1 if ok else 0 for ok in self._outcomes],
+            "classes": dict(self._classes),
+            "denied": self._denied,
+            "trips": self.trips,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], policy: BreakerPolicy = BreakerPolicy()
+    ) -> "CircuitBreaker":
+        breaker = cls(payload["workload"], policy)
+        breaker.state = payload["state"]
+        for ok in payload["outcomes"][-policy.window:]:
+            breaker._outcomes.append(bool(ok))
+        breaker._classes = Counter(payload["classes"])
+        breaker._denied = int(payload["denied"])
+        breaker.trips = int(payload["trips"])
+        return breaker

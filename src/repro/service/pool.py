@@ -1,0 +1,600 @@
+"""The sweep service: WAL-backed job queue + supervised worker pool.
+
+:class:`SweepService` composes the pieces of this package into one
+crash-safe execution service:
+
+* every state transition is journaled (fsynced) *before* it is applied
+  (:mod:`.journal` + :mod:`.state`), so ``kill -9`` at any instant
+  recovers to a consistent queue;
+* cells run through :class:`~repro.engine.supervision.Supervisor`
+  workers holding heartbeat-renewed leases (:mod:`.leases`); stale
+  leases from dead incarnations are reclaimed on recovery;
+* per-workload circuit breakers (:mod:`.breaker`) quarantine repeat
+  offenders instead of burning the sweep's retry budget;
+* admission control (:mod:`.admission`) bounds queue depth and
+  journals every shed submission;
+* service counters live in a :class:`~repro.engine.stats.StatRegistry`
+  group ``service``; every completed job writes a run-manifest sidecar;
+  journal submissions pin the PR 2 config hash, cross-validated at
+  lease time exactly like ``--resume``.
+
+One directory = one service.  A ``serve.pid`` guard refuses two live
+servers on the same journal; a stale pidfile (previous ``kill -9``)
+is detected via ``/proc`` liveness and taken over.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..engine.errors import (
+    AdmissionError,
+    JournalError,
+    SimulationError,
+    classify,
+)
+from ..engine.faults import FaultPlan
+from ..engine.stats import StatRegistry
+from ..engine.supervision import CellSpec, RetryPolicy, Supervisor
+from ..engine.interrupt import GracefulInterrupt
+from ..telemetry import RunManifest, config_hash
+from .admission import AdmissionController, AdmissionPolicy
+from .breaker import BreakerPolicy, CircuitBreaker
+from .invariants import check_service_invariants
+from .journal import JOURNAL_NAME, Journal
+from .leases import LeaseTable
+from .state import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    RUNNING,
+    SUBMITTED,
+    Job,
+    QueueState,
+)
+
+#: pidfile guarding one live server per service directory
+PIDFILE_NAME = "serve.pid"
+
+
+def job_id_for(benchmark: str, config_name: str) -> str:
+    """Stable job identity: one job per sweep cell."""
+    return f"{benchmark}:{config_name}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    # a SIGKILLed server lingers as a zombie until its parent reaps
+    # it; it can never write the journal again, so it is not "alive"
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            if handle.read().rpartition(")")[2].split()[0] == "Z":
+                return False
+    except (OSError, IndexError):
+        pass  # no procfs (macOS): fall back to the signal-0 verdict
+    return True
+
+
+class SweepService:
+    """Crash-safe, self-protecting sweep execution service."""
+
+    def __init__(
+        self,
+        directory: str,
+        scale: str = "small",
+        seed: int = 0,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        sanitize: Optional[str] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        lease_ttl: float = 60.0,
+        compact_after: int = 256,
+        registry: Optional[StatRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.directory = directory
+        self.scale = scale
+        self.seed = seed
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.sanitize = sanitize
+        self.breaker_policy = (
+            breaker_policy if breaker_policy is not None else BreakerPolicy()
+        )
+        self.compact_after = compact_after
+        self.lease_ttl = lease_ttl
+        self.clock = clock
+        os.makedirs(directory, exist_ok=True)
+        self.journal = Journal(
+            os.path.join(directory, JOURNAL_NAME), scale=scale, seed=seed
+        )
+        self.state = QueueState()
+        self.leases = LeaseTable(ttl=lease_ttl, clock=clock)
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.admission = AdmissionController(
+            admission if admission is not None else AdmissionPolicy()
+        )
+        self.registry = registry if registry is not None else StatRegistry()
+        self.stats = self.registry.group("service")
+        self.incarnation = f"serve-{os.getpid()}"
+        self._recovered = False
+        #: False while replaying the journal (breaker decisions are
+        #: re-derived from the record stream instead of re-decided)
+        self._live = True
+
+    # ------------------------------------------------------------------ #
+    # Journal plumbing: journal first, then reduce — one code path for
+    # live operation and replay, so they cannot drift.
+    # ------------------------------------------------------------------ #
+    def _journal(self, rtype: str, payload: Dict[str, Any]) -> None:
+        seq = self.journal.append(rtype, payload)
+        self._reduce({"seq": seq, "type": rtype, "payload": payload})
+
+    def _reduce(self, record: Dict[str, Any]) -> None:
+        rtype = record["type"]
+        payload = record["payload"]
+        self.state.apply(record)
+        # mirror the journal's counters into the telemetry registry
+        if rtype == "submit":
+            self.stats.counter("queued").inc()
+        elif rtype in (
+            "shed", "lease", "retry", "done", "fail", "reclaim",
+        ):
+            name = {
+                "shed": "shed",
+                "lease": "leased",
+                "retry": "retried",
+                "done": "done",
+                "fail": "failed",
+                "reclaim": "reclaimed",
+            }[rtype]
+            self.stats.counter(name).inc()
+        elif rtype == "quarantine":
+            self.stats.counter("quarantined").inc()
+        # lease table bookkeeping
+        if rtype == "lease":
+            self.leases.grant(payload["job_id"], payload["owner"])
+        elif rtype in ("done", "fail", "quarantine", "reclaim"):
+            if payload.get("job_id") in self.leases:
+                self.leases.release(payload["job_id"])
+        # breaker bookkeeping (replay rebuilds the exact live state:
+        # every journaled admit/deny decision and every outcome drives
+        # the same breaker methods the live path used)
+        if rtype == "snapshot":
+            self.breakers = {
+                workload: CircuitBreaker.from_payload(
+                    breaker_payload, self.breaker_policy
+                )
+                for workload, breaker_payload in (
+                    self.state.breaker_payloads.items()
+                )
+            }
+        elif rtype in ("lease", "quarantine") and not self._live:
+            # the live path called allow() exactly once before
+            # journaling either record; replay must advance the breaker
+            # state machine (cooldown, half-open transition) identically
+            job = self.state.jobs[payload["job_id"]]
+            self.breaker_for(job.benchmark).allow()
+        elif rtype in ("retry", "fail"):
+            job = self.state.jobs[payload["job_id"]]
+            self.breaker_for(job.benchmark).record_failure(
+                payload["error_class"]
+            )
+        elif rtype == "done":
+            job = self.state.jobs[payload["job_id"]]
+            self.breaker_for(job.benchmark).record_success()
+
+    def breaker_for(self, workload: str) -> CircuitBreaker:
+        if workload not in self.breakers:
+            self.breakers[workload] = CircuitBreaker(
+                workload, self.breaker_policy
+            )
+        return self.breakers[workload]
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def recover(self, readonly: bool = False) -> int:
+        """Replay the journal; reclaim stale leases. Returns #reclaimed.
+
+        ``readonly`` (``repro status``) replays without journaling
+        reclamation — the queue is inspected exactly as the log left
+        it, stale leases included.
+        """
+        self._live = False
+        try:
+            for record in self.journal.replay():
+                self._reduce(record)
+        finally:
+            self._live = True
+        self._recovered = True
+        reclaimed = 0
+        if not readonly:
+            self.assert_no_live_server()
+            # every outstanding lease belongs to a dead incarnation:
+            # the guard above makes this process the only writer
+            for job in list(self.state.leased()):
+                self._journal("reclaim", {"job_id": job.job_id})
+                reclaimed += 1
+            check_service_invariants(self.state, self.leases)
+        return reclaimed
+
+    # ------------------------------------------------------------------ #
+    # Submission (admission-controlled)
+    # ------------------------------------------------------------------ #
+    def submit(self, benchmark: str, config_name: str) -> Job:
+        """Enqueue one sweep cell; idempotent per (benchmark, config).
+
+        Raises :class:`AdmissionError` when the queue refuses the job
+        (the refusal itself is journaled as a ``shed`` record).
+        """
+        from ..experiments.configs import get_config
+
+        self._require_recovered()
+        job_id = job_id_for(benchmark, config_name)
+        existing = self.state.jobs.get(job_id)
+        if existing is not None:
+            return existing  # resubmission of a known cell is a no-op
+        decision = self.admission.decide(self.state.pending_depth())
+        if not decision.admitted:
+            self._journal(
+                "shed",
+                {
+                    "job_id": job_id,
+                    "benchmark": benchmark,
+                    "config_name": config_name,
+                    "reason": decision.reason,
+                },
+            )
+            raise AdmissionError(
+                f"job {job_id!r} refused: {decision.reason}"
+            )
+        job = Job(
+            job_id=job_id,
+            benchmark=benchmark,
+            config_name=config_name,
+            scale=self.scale,
+            seed=self.seed,
+            config_hash=config_hash(get_config(config_name)),
+        )
+        self._journal("submit", {"job": job.to_payload()})
+        return self.state.jobs[job_id]
+
+    # ------------------------------------------------------------------ #
+    # The pool loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self, interrupt: Optional[GracefulInterrupt] = None
+    ) -> Dict[str, int]:
+        """Serve jobs until the queue is idle (or a drain is requested).
+
+        Returns the end-of-run depth dict.  On a drain request the
+        current job finishes (its lease is honoured), remaining jobs
+        stay SUBMITTED for the next incarnation, and a clean-shutdown
+        record is journaled either way.
+        """
+        self._require_recovered()
+        self._acquire_pidfile()
+        try:
+            self._journal(
+                "serve_start",
+                {
+                    "incarnation": self.incarnation,
+                    "pid": os.getpid(),
+                    "unix": time.time(),
+                },
+            )
+            while not (interrupt is not None and interrupt.requested):
+                pending = self.state.pending()
+                if not pending:
+                    break
+                self._run_job(pending[0])
+                if self.sanitize:
+                    check_service_invariants(self.state, self.leases)
+            self._shutdown(interrupt)
+        finally:
+            self._release_pidfile()
+        return self.state.depths()
+
+    def _shutdown(self, interrupt: Optional[GracefulInterrupt]) -> None:
+        """Journal a clean shutdown; compact when the log has grown."""
+        drained = interrupt is not None and interrupt.requested
+        shield = (
+            interrupt.shield()
+            if interrupt is not None
+            else contextlib.nullcontext()
+        )
+        with shield:
+            self._journal(
+                "shutdown",
+                {
+                    "clean": True,
+                    "drained": drained,
+                    "pending": len(self.state.pending()),
+                },
+            )
+            if self.journal.seq is not None and (
+                self.journal.seq >= self.compact_after
+            ):
+                self.journal.compact(
+                    self.state.snapshot_payload(
+                        {
+                            w: b.to_payload()
+                            for w, b in self.breakers.items()
+                        }
+                    )
+                )
+            self.write_manifest()
+
+    def _run_job(self, job: Job) -> None:
+        from ..experiments.configs import get_config
+
+        breaker = self.breaker_for(job.benchmark)
+        allowed, note = breaker.allow()
+        if not allowed:
+            self._journal(
+                "quarantine",
+                {
+                    "job_id": job.job_id,
+                    "cause_class": breaker.dominant_class(),
+                    "message": note,
+                },
+            )
+            return
+        config = get_config(job.config_name)
+        current_hash = config_hash(config)
+        if job.config_hash and current_hash != job.config_hash:
+            raise JournalError(
+                f"job {job.job_id!r} was submitted for config hash "
+                f"{job.config_hash} but {job.config_name!r} now hashes to "
+                f"{current_hash}; the configuration changed between submit "
+                f"and run — resubmit into a fresh service directory"
+            )
+        self._journal(
+            "lease",
+            {
+                "job_id": job.job_id,
+                "owner": self.incarnation,
+                # wall clock so `repro status` from another process can
+                # report lease ages (liveness is the in-memory table)
+                "unix": time.time(),
+            },
+        )
+        self._journal("start", {"job_id": job.job_id})
+        probe = note == "probe"
+        retry = (
+            RetryPolicy(
+                max_attempts=1,
+                backoff_base=self.retry.backoff_base,
+                backoff_factor=self.retry.backoff_factor,
+                jitter=self.retry.jitter,
+            )
+            if probe  # a half-open probe gets no retry budget
+            else self.retry
+        )
+        supervisor = Supervisor(
+            timeout=self.timeout,
+            retry=retry,
+            fault_plan=self.fault_plan,
+            heartbeat=lambda: self.leases.heartbeat(job.job_id),
+            on_retry=lambda attempt, exc: self._journal(
+                "retry",
+                {
+                    "job_id": job.job_id,
+                    "attempt": attempt,
+                    "error_class": classify(exc),
+                },
+            ),
+        )
+        spec = CellSpec(
+            benchmark=job.benchmark,
+            config=config,
+            config_tag=job.config_name,
+            scale=self.scale,
+            seed=self.seed,
+            sanitize=self.sanitize,
+        )
+        try:
+            result = supervisor.run_cell(spec)
+        except SimulationError as exc:
+            self._journal(
+                "fail",
+                {
+                    "job_id": job.job_id,
+                    "error_class": classify(exc),
+                    "message": str(exc).splitlines()[0],
+                    "attempts": getattr(exc, "attempts", 1),
+                },
+            )
+            return
+        self._journal(
+            "done",
+            {
+                "job_id": job.job_id,
+                "result": result,
+                "attempts": job.attempts + 1,
+            },
+        )
+        self._write_job_manifest(self.state.jobs[job.job_id])
+
+    # ------------------------------------------------------------------ #
+    # Manifests
+    # ------------------------------------------------------------------ #
+    def _write_job_manifest(self, job: Job) -> str:
+        path = os.path.join(
+            self.directory,
+            "manifests",
+            f"{job.job_id.replace(':', '__')}.manifest.json",
+        )
+        manifest = RunManifest(
+            artifact_kind="job",
+            artifact_path=self.journal.path,
+            scale=self.scale,
+            seed=self.seed,
+            benchmarks=[job.benchmark],
+            config_hashes={job.config_name: job.config_hash},
+            cells_simulated=1,
+            extra={
+                "job_id": job.job_id,
+                "attempts": job.attempts,
+                "incarnation": self.incarnation,
+            },
+        )
+        return manifest.write(path)
+
+    def write_manifest(self) -> str:
+        """Service-level manifest next to the journal."""
+        hashes = {
+            job.config_name: job.config_hash
+            for job in self.state.jobs.values()
+        }
+        manifest = RunManifest(
+            artifact_kind="service",
+            artifact_path=self.journal.path,
+            scale=self.scale,
+            seed=self.seed,
+            benchmarks=sorted(
+                {job.benchmark for job in self.state.jobs.values()}
+            ),
+            config_hashes=dict(sorted(hashes.items())),
+            cells_simulated=self.state.counters["done"],
+            extra={"counters": dict(self.state.counters)},
+        )
+        return manifest.write()
+
+    # ------------------------------------------------------------------ #
+    # Status
+    # ------------------------------------------------------------------ #
+    def status_lines(self) -> List[str]:
+        """Human-readable ``repro status`` block."""
+        depths = self.state.depths()
+        pending = self.state.pending_depth()
+        lines = [
+            "queue            "
+            + " ".join(f"{s.lower()}={depths[s]}" for s in depths),
+            f"backpressure     {self.admission.describe(pending)}",
+        ]
+        if self.breakers:
+            lines.append("breakers         " + "; ".join(
+                self.breakers[w].describe() for w in sorted(self.breakers)
+            ))
+        for job in self.state.leased():
+            age_text = "age unknown"
+            if job.leased_unix:
+                age = time.time() - job.leased_unix
+                age_text = f"age {age:.1f}s"
+            stale = ""
+            owner_pid = job.owner.rpartition("-")[2]
+            if owner_pid.isdigit() and not _pid_alive(int(owner_pid)):
+                stale = ", stale (owner dead)"
+            lines.append(
+                f"lease            {job.job_id} -> {job.owner} "
+                f"({job.state}, {age_text}, ttl {self.lease_ttl:g}s{stale})"
+            )
+        counters = " ".join(
+            f"{name}={value}"
+            for name, value in self.state.counters.items()
+        )
+        lines.append(f"counters         {counters}")
+        return lines
+
+    def golden_gate(self, path: str) -> "tuple[bool, List[str]]":
+        """Gate this service's DONE results against a golden file.
+
+        The chaos CI job kills and restarts a service mid-sweep, then
+        requires the recovered results to match the same pinned metrics
+        the cold-run golden gate uses — byte-identical recovery is not
+        an aspiration, it is asserted.
+        """
+        from ..sanitizer.goldens import (
+            GOLDEN_METRICS,
+            compare_goldens,
+            load_goldens,
+        )
+
+        try:
+            payload = load_goldens(path)
+        except (OSError, ValueError) as exc:
+            return False, [f"unreadable golden file {path}: {exc}"]
+        if payload.get("scale") != self.scale or (
+            payload.get("seed") != self.seed
+        ):
+            return False, [
+                f"golden file {path} pins scale={payload.get('scale')!r} "
+                f"seed={payload.get('seed')}, but this service runs "
+                f"scale={self.scale!r} seed={self.seed}"
+            ]
+        cells = {
+            f"{job.benchmark}:{job.config_name}": {
+                metric: job.result.get(metric)
+                for metric in GOLDEN_METRICS
+            }
+            for job in self.state.jobs.values()
+            if job.state == DONE and job.result is not None
+        }
+        problems = compare_goldens(cells, payload)
+        if problems:
+            return False, problems
+        return True, [
+            f"{len(cells)} recovered cells match {path}"
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle guards
+    # ------------------------------------------------------------------ #
+    def _require_recovered(self) -> None:
+        if not self._recovered:
+            raise JournalError(
+                "service used before recover(): the journal must be "
+                "replayed before any mutation"
+            )
+
+    @property
+    def pidfile(self) -> str:
+        return os.path.join(self.directory, PIDFILE_NAME)
+
+    def assert_no_live_server(self) -> None:
+        """Refuse to mutate a journal another live process is serving.
+
+        ``recover()`` reclaims every outstanding lease on the assumption
+        that this process is the only writer; a submit/serve racing a
+        live server would steal its leases and fork the queue state.
+        """
+        if not os.path.exists(self.pidfile):
+            return
+        try:
+            with open(self.pidfile) as handle:
+                pid = int(handle.read().strip())
+        except (OSError, ValueError):
+            return
+        if pid != os.getpid() and _pid_alive(pid):
+            raise JournalError(
+                f"service directory {self.directory!r} is already "
+                f"served by live pid {pid}; two concurrent writers "
+                f"would race the journal"
+            )
+
+    def _acquire_pidfile(self) -> None:
+        self.assert_no_live_server()
+        with open(self.pidfile, "w") as handle:
+            handle.write(f"{os.getpid()}\n")
+
+    def _release_pidfile(self) -> None:
+        try:
+            os.remove(self.pidfile)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self.journal.close()

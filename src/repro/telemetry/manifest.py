@@ -113,16 +113,18 @@ class RunManifest:
         return payload
 
     def write(self, path: Optional[str] = None) -> str:
-        """Write next to the artifact (default) or to an explicit path."""
+        """Write next to the artifact (default) or to an explicit path.
+
+        Atomic (temp + rename + fsync): a manifest either exists in
+        full or not at all — resume validation must never read a torn
+        sidecar.
+        """
         if path is None:
             path = manifest_path_for(self.artifact_path)
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        return path
+        from ..engine.atomic import atomic_write
+
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        return atomic_write(path, payload + "\n")
 
     @classmethod
     def load(cls, path: str) -> "RunManifest":

@@ -138,15 +138,15 @@ def cached_power_law_graph(
         return graph
     graph = generate_power_law_graph(num_nodes, edges_per_node, seed)
     try:
-        cache.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp.npz")
-        np.savez(
-            tmp,
-            num_nodes=np.int64(graph.num_nodes),
-            row_ptr=graph.row_ptr,
-            col_idx=graph.col_idx,
-        )
-        tmp.replace(path)
+        from ..engine.atomic import atomic_path
+
+        with atomic_path(str(path)) as tmp:
+            np.savez(
+                tmp,
+                num_nodes=np.int64(graph.num_nodes),
+                row_ptr=graph.row_ptr,
+                col_idx=graph.col_idx,
+            )
     except OSError:
         # Cache is an optimization only; never fail the build over it.
         pass

@@ -1,0 +1,64 @@
+"""Tests for the atomic durable-write helper."""
+
+import os
+
+import pytest
+
+from repro.engine.atomic import atomic_path, atomic_write
+
+
+def test_atomic_write_creates_file(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_write(str(path), "{\"a\": 1}\n")
+    assert path.read_text() == "{\"a\": 1}\n"
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    path = tmp_path / "out.json"
+    path.write_text("old")
+    atomic_write(str(path), "new")
+    assert path.read_text() == "new"
+
+
+def test_atomic_write_accepts_bytes(tmp_path):
+    path = tmp_path / "blob.bin"
+    atomic_write(str(path), b"\x00\x01\x02")
+    assert path.read_bytes() == b"\x00\x01\x02"
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write(str(path), "data")
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_atomic_path_preserves_extension(tmp_path):
+    # np.savez appends ".npz" unless the temp name already ends in it;
+    # the temp name must therefore keep the destination's extension
+    path = tmp_path / "cache.npz"
+    with atomic_path(str(path)) as tmp:
+        assert tmp.endswith(".npz")
+        with open(tmp, "w") as handle:
+            handle.write("payload")
+    assert path.read_text() == "payload"
+
+
+def test_atomic_path_failure_keeps_original(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("original")
+    with pytest.raises(RuntimeError):
+        with atomic_path(str(path)) as tmp:
+            with open(tmp, "w") as handle:
+                handle.write("partial")
+            raise RuntimeError("writer died mid-update")
+    # the original survives and the torn temp file is cleaned up
+    assert path.read_text() == "original"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_atomic_path_failure_before_any_write(tmp_path):
+    path = tmp_path / "out.txt"
+    with pytest.raises(ValueError):
+        with atomic_path(str(path)):
+            raise ValueError("nothing written")
+    assert os.listdir(tmp_path) == []

@@ -1,0 +1,144 @@
+"""Unit tests for the per-workload circuit-breaker state machine."""
+
+import pytest
+
+from repro.service import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+def make_breaker(window=4, threshold=2, cooldown=2):
+    return CircuitBreaker(
+        "bfs",
+        BreakerPolicy(
+            window=window, failure_threshold=threshold, cooldown=cooldown
+        ),
+    )
+
+
+def test_starts_closed_and_allows():
+    breaker = make_breaker()
+    assert breaker.state == CLOSED
+    assert breaker.allow() == (True, "")
+
+
+def test_trips_open_at_threshold():
+    breaker = make_breaker(threshold=2)
+    breaker.record_failure("worker_crash")
+    assert breaker.state == CLOSED
+    breaker.record_failure("worker_crash")
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+
+
+def test_successes_keep_failures_below_threshold():
+    breaker = make_breaker(window=4, threshold=3)
+    for _ in range(10):
+        breaker.record_failure("timeout")
+        breaker.record_success()
+        breaker.record_success()
+    # never 3 failures inside any 4-outcome window
+    assert breaker.state == CLOSED
+
+
+def test_open_denies_through_cooldown_then_probes():
+    breaker = make_breaker(threshold=1, cooldown=2)
+    breaker.record_failure("livelock")
+    assert breaker.state == OPEN
+    allowed, reason = breaker.allow()
+    assert not allowed and "breaker open" in reason
+    allowed, _ = breaker.allow()
+    assert not allowed
+    # cooldown served: the next decision admits a half-open probe
+    assert breaker.allow() == (True, "probe")
+    assert breaker.state == HALF_OPEN
+
+
+def test_probe_success_closes_and_resets():
+    breaker = make_breaker(threshold=1, cooldown=0)
+    breaker.record_failure("timeout")
+    assert breaker.allow() == (True, "probe")
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.failures_in_window() == 0
+    assert breaker.allow() == (True, "")
+
+
+def test_probe_failure_reopens_and_restarts_cooldown():
+    breaker = make_breaker(threshold=1, cooldown=1)
+    breaker.record_failure("timeout")
+    allowed, _ = breaker.allow()  # serving the 1-job cooldown
+    assert not allowed
+    assert breaker.allow() == (True, "probe")
+    breaker.record_failure("timeout")
+    assert breaker.state == OPEN
+    allowed, _ = breaker.allow()  # cooldown restarted: denied again
+    assert not allowed
+    assert breaker.allow() == (True, "probe")
+
+
+def test_dominant_class_majority_and_tiebreak():
+    breaker = make_breaker(window=8, threshold=8)
+    breaker.record_failure("timeout")
+    breaker.record_failure("worker_crash")
+    breaker.record_failure("worker_crash")
+    assert breaker.dominant_class() == "worker_crash"
+    breaker.record_failure("timeout")
+    # tied 2/2: alphabetically first wins, deterministically
+    assert breaker.dominant_class() == "timeout"
+
+
+def test_dominant_class_defaults_to_simulation():
+    assert make_breaker().dominant_class() == "simulation"
+
+
+def test_window_eviction_shrinks_class_histogram():
+    breaker = make_breaker(window=2, threshold=2)
+
+    # threshold never reached: each failure is followed by successes
+    # that push it out of the 2-outcome window
+    breaker.record_failure("timeout")
+    breaker.record_success()
+    breaker.record_success()
+    assert breaker.failures_in_window() == 0
+    assert breaker.dominant_class() == "simulation"
+    assert breaker.state == CLOSED
+
+
+def test_describe_mentions_state_and_cause():
+    breaker = make_breaker(threshold=1)
+    breaker.record_failure("worker_crash")
+    text = breaker.describe()
+    assert "bfs" in text and "OPEN" in text and "worker_crash" in text
+
+
+def test_payload_round_trip():
+    breaker = make_breaker(window=4, threshold=2, cooldown=3)
+    breaker.record_failure("timeout")
+    breaker.record_failure("timeout")
+    breaker.allow()  # one denial into the cooldown
+    clone = CircuitBreaker.from_payload(breaker.to_payload(), breaker.policy)
+    assert clone.state == breaker.state == OPEN
+    assert clone.failures_in_window() == breaker.failures_in_window()
+    assert clone.dominant_class() == breaker.dominant_class()
+    assert clone.trips == breaker.trips
+    # the clone continues the cooldown exactly where the original was
+    assert clone.allow() == breaker.allow()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"window": 0},
+        {"failure_threshold": 0},
+        {"window": 2, "failure_threshold": 3},
+        {"cooldown": -1},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        BreakerPolicy(**kwargs)

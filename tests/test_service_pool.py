@@ -1,0 +1,387 @@
+"""End-to-end tests for the crash-safe sweep service.
+
+The centerpiece is the kill -9 test: a live ``repro serve`` process is
+SIGKILLed mid-cell, restarted, and must recover — stale lease reclaimed,
+journal replayed, and the finished sweep's results identical to a cold
+run that was never killed.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.engine.errors import AdmissionError, JournalError
+from repro.engine.faults import FaultPlan
+from repro.engine.supervision import RetryPolicy
+from repro.experiments.runner import ExperimentRunner
+from repro.service import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    SUBMITTED,
+    AdmissionPolicy,
+    BreakerPolicy,
+    Journal,
+    SweepService,
+    job_id_for,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("scale", "micro")
+    kwargs.setdefault("seed", 0)
+    service = SweepService(str(tmp_path / "svc"), **kwargs)
+    service.recover()
+    return service
+
+
+# --------------------------------------------------------------------- #
+# Happy path: service results == direct runner results
+# --------------------------------------------------------------------- #
+
+
+def test_service_results_match_direct_runner(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.submit("nw", "sched")
+    service.run()
+    service.close()
+
+    runner = ExperimentRunner(scale="micro", seed=0)
+    for config in ("baseline", "sched"):
+        job = service.state.jobs[job_id_for("nw", config)]
+        assert job.state == DONE
+        direct = runner.run("nw", config)
+        assert job.result["cycles"] == direct.cycles
+        assert job.result["l1_tlb_hits"] == direct.l1_tlb_hits
+
+
+def test_resubmit_is_idempotent_and_done_jobs_never_rerun(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.run()
+    done_seq = service.state.jobs["nw:baseline"].updated_seq
+    # resubmitting a known cell is a no-op returning the existing job
+    job = service.submit("nw", "baseline")
+    assert job.state == DONE
+    service.run()
+    service.close()
+    assert service.state.jobs["nw:baseline"].updated_seq == done_seq
+    assert service.state.counters["done"] == 1
+
+
+def test_recovery_reproduces_live_state_exactly(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.submit("nw", "sched")
+    service.run()
+    service.close()
+
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    recovered.recover()
+    recovered.close()
+    assert recovered.state.counters == service.state.counters
+    for job_id, job in service.state.jobs.items():
+        clone = recovered.state.jobs[job_id]
+        assert clone.state == job.state
+        assert clone.result == job.result
+    # breaker state replays to exactly the live machine
+    assert {w: b.to_payload() for w, b in recovered.breakers.items()} == {
+        w: b.to_payload() for w, b in service.breakers.items()
+    }
+
+
+def test_job_manifests_written(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.run()
+    service.close()
+    path = tmp_path / "svc" / "manifests" / "nw__baseline.manifest.json"
+    payload = json.loads(path.read_text())
+    assert payload["artifact_kind"] == "job"
+    assert payload["extra"]["job_id"] == "nw:baseline"
+
+
+# --------------------------------------------------------------------- #
+# Stale-lease reclamation (in-process crash model)
+# --------------------------------------------------------------------- #
+
+
+def test_stale_lease_reclaimed_on_recovery(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    # die between journaling the start and the outcome: the journal
+    # believes the job is RUNNING under a now-dead incarnation
+    service._journal("lease", {"job_id": "nw:baseline",
+                               "owner": "serve-999999", "unix": 1.0})
+    service._journal("start", {"job_id": "nw:baseline"})
+    service.close()
+
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    assert recovered.recover() == 1
+    job = recovered.state.jobs["nw:baseline"]
+    assert job.state == SUBMITTED
+    assert job.owner == ""
+    assert recovered.state.counters["reclaimed"] == 1
+    # the reclaimed job runs to completion under the new incarnation
+    recovered.run()
+    recovered.close()
+    assert recovered.state.jobs["nw:baseline"].state == DONE
+
+
+def test_readonly_recovery_does_not_reclaim(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service._journal("lease", {"job_id": "nw:baseline",
+                               "owner": "serve-999999", "unix": 1.0})
+    service.close()
+
+    observer = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    assert observer.recover(readonly=True) == 0
+    assert observer.state.jobs["nw:baseline"].state == "LEASED"
+
+
+# --------------------------------------------------------------------- #
+# Admission + breakers end to end
+# --------------------------------------------------------------------- #
+
+
+def test_shed_is_journaled_and_survives_recovery(tmp_path):
+    service = make_service(
+        tmp_path,
+        admission=AdmissionPolicy(max_depth=4, high_watermark=2,
+                                  low_watermark=1),
+    )
+    service.submit("nw", "baseline")
+    service.submit("nw", "sched")
+    with pytest.raises(AdmissionError, match="load shed"):
+        service.submit("nw", "partition_sharing")
+    service.close()
+
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    recovered.recover()
+    recovered.close()
+    assert recovered.state.counters["shed"] == 1
+    assert recovered.state.counters["queued"] == 2
+
+
+def test_breaker_quarantines_repeat_offender(tmp_path):
+    # nw crashes every attempt: the first job burns its retry budget
+    # (3 attempt-level failures >= threshold), trips the breaker, and
+    # the remaining nw jobs quarantine without running
+    service = make_service(
+        tmp_path,
+        fault_plan=FaultPlan.parse("nw:baseline:crash:99"),
+        retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        breaker_policy=BreakerPolicy(window=8, failure_threshold=3,
+                                     cooldown=2),
+    )
+    for config in ("baseline", "sched", "partition_sharing"):
+        service.submit("nw", config)
+    service.run()
+    service.close()
+
+    jobs = service.state.jobs
+    assert jobs["nw:baseline"].state == FAILED
+    assert jobs["nw:sched"].state == QUARANTINED
+    assert jobs["nw:sched"].marker == "FAILED(quarantined:worker_crash)"
+    assert jobs["nw:partition_sharing"].state == QUARANTINED
+    assert service.state.counters["quarantined"] == 2
+    # only the failing job ever consumed worker attempts
+    assert service.state.counters["leased"] == 1
+
+
+def test_config_hash_drift_refused(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.state.jobs["nw:baseline"].config_hash = "deadbeef"
+    with pytest.raises(JournalError, match="configuration changed"):
+        service.run()
+    service.close()
+
+
+def test_second_live_server_refused(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    with open(service.pidfile, "w") as handle:
+        handle.write("1\n")  # pid 1 is always alive
+    with pytest.raises(JournalError, match="already"):
+        service.run()
+    service.close()
+
+
+# --------------------------------------------------------------------- #
+# Shutdown + compaction
+# --------------------------------------------------------------------- #
+
+
+def test_shutdown_compacts_and_recovery_continues(tmp_path):
+    service = make_service(tmp_path, compact_after=5)
+    service.submit("nw", "baseline")
+    service.submit("nw", "sched")
+    service.run()
+    service.close()
+
+    journal_path = tmp_path / "svc" / "journal.jsonl"
+    lines = journal_path.read_text().splitlines()
+    # compacted: header + snapshot only, regardless of history length
+    assert len(lines) == 2
+    assert json.loads(lines[1])["type"] == "snapshot"
+
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    recovered.recover()
+    assert recovered.state.counters["done"] == 2
+    # the compacted journal still accepts and serves new work
+    recovered.submit("nw", "partition_sharing")
+    recovered.run()
+    recovered.close()
+    assert recovered.state.jobs["nw:partition_sharing"].state == DONE
+
+
+def test_service_manifest_written_at_shutdown(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.run()
+    service.close()
+    manifest = json.loads(
+        (tmp_path / "svc" / "journal.jsonl.manifest.json").read_text()
+    )
+    assert manifest["artifact_kind"] == "service"
+    assert manifest["extra"]["counters"]["done"] == 1
+
+
+# --------------------------------------------------------------------- #
+# kill -9 a live server mid-cell, restart, recover
+# --------------------------------------------------------------------- #
+
+
+def _wait_for_record(journal_path, rtype, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(journal_path):
+            with open(journal_path, errors="replace") as handle:
+                for line in handle:
+                    try:
+                        if json.loads(line).get("type") == rtype:
+                            return True
+                    except ValueError:
+                        pass
+        time.sleep(0.05)
+    return False
+
+
+@pytest.mark.slow
+def test_kill9_recovery_matches_cold_run(tmp_path):
+    service_dir = str(tmp_path / "svc")
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+        # the second cell's worker hangs forever: the serve process is
+        # guaranteed to be mid-cell (RUNNING journaled, no outcome yet)
+        # when the SIGKILL lands
+        REPRO_FAULT="nw:sched:timeout",
+    )
+    submit = subprocess.run(
+        [sys.executable, "-m", "repro", "submit", "nw",
+         "--configs", "baseline", "sched",
+         "--scale", "micro", "--service-dir", service_dir],
+        env=env, capture_output=True, text=True,
+    )
+    assert submit.returncode == 0, submit.stderr
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--scale", "micro", "--service-dir", service_dir,
+         "--timeout", "600"],
+        env=env, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        journal_path = os.path.join(service_dir, "journal.jsonl")
+        assert _wait_for_record(journal_path, "done"), "first cell"
+        assert _wait_for_record(journal_path, "start", timeout=60.0)
+        time.sleep(0.3)  # let the hung worker actually start sleeping
+    finally:
+        # kill -9 the whole process group: the server AND its worker
+        # die without any chance to journal, flush, or clean up
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+    # stale pidfile + journal ending mid-cell: restart must recover
+    recovered = SweepService(service_dir, scale="micro", seed=0)
+    assert recovered.recover() == 1
+    assert recovered.state.jobs["nw:sched"].state == SUBMITTED
+    recovered.run()  # no REPRO_FAULT in-process: the cell completes
+    recovered.close()
+
+    cold = SweepService(str(tmp_path / "cold"), scale="micro", seed=0)
+    cold.recover()
+    cold.submit("nw", "baseline")
+    cold.submit("nw", "sched")
+    cold.run()
+    cold.close()
+
+    for config in ("baseline", "sched"):
+        job_id = job_id_for("nw", config)
+        recovered_job = recovered.state.jobs[job_id]
+        cold_job = cold.state.jobs[job_id]
+        assert recovered_job.state == cold_job.state == DONE
+        assert recovered_job.result == cold_job.result
+
+
+@pytest.mark.slow
+def test_kill9_torn_journal_tail_recovers(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.run()
+    service.close()
+    journal_path = tmp_path / "svc" / "journal.jsonl"
+    with open(journal_path, "a") as handle:
+        handle.write('{"seq": 999, "type": "lea')  # torn final append
+
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    recovered.recover()
+    assert recovered.state.jobs["nw:baseline"].state == DONE
+    # appending after the torn tail must not glue records to garbage
+    recovered.submit("nw", "sched")
+    recovered.close()
+    reread = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    reread.recover()
+    reread.close()
+    assert reread.state.jobs["nw:sched"].state == SUBMITTED
+
+
+# --------------------------------------------------------------------- #
+# Status / goldens
+# --------------------------------------------------------------------- #
+
+
+def test_status_lines_cover_queue_breakers_counters(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.run()
+    service.close()
+    text = "\n".join(service.status_lines())
+    assert "done=1" in text
+    assert "backpressure" in text
+    assert "nw CLOSED" in text
+    assert "queued=1" in text
+
+
+def test_golden_gate_refuses_foreign_scale(tmp_path):
+    service = make_service(tmp_path)
+    goldens = tmp_path / "goldens.json"
+    goldens.write_text(json.dumps(
+        {"kind": "repro-goldens", "version": 1, "scale": "small",
+         "seed": 0, "tolerance": 0.0, "cells": {}}
+    ))
+    passed, lines = service.golden_gate(str(goldens))
+    service.close()
+    assert not passed
+    assert any("scale" in line for line in lines)

@@ -1,0 +1,314 @@
+"""Unit tests for queue state machine, admission control, and leases."""
+
+import pytest
+
+from repro.engine.errors import JournalError, SanitizerError
+from repro.service import (
+    DONE,
+    FAILED,
+    LEASED,
+    QUARANTINED,
+    RUNNING,
+    SUBMITTED,
+    AdmissionController,
+    AdmissionPolicy,
+    Job,
+    LeaseTable,
+    QueueState,
+    check_service_invariants,
+)
+
+# --------------------------------------------------------------------- #
+# Reducer / state machine
+# --------------------------------------------------------------------- #
+
+
+def rec(seq, rtype, payload):
+    return {"seq": seq, "type": rtype, "payload": payload}
+
+
+def submit_record(seq, job_id="bfs:baseline", benchmark="bfs"):
+    job = Job(job_id=job_id, benchmark=benchmark, config_name="baseline")
+    return rec(seq, "submit", {"job": job.to_payload()})
+
+
+def test_happy_path_to_done():
+    state = QueueState()
+    state.apply(submit_record(2))
+    state.apply(rec(3, "lease", {"job_id": "bfs:baseline", "owner": "serve-1",
+                                 "unix": 123.0}))
+    state.apply(rec(4, "start", {"job_id": "bfs:baseline"}))
+    state.apply(rec(5, "done", {"job_id": "bfs:baseline",
+                                "result": {"cycles": 10.0}, "attempts": 1}))
+    job = state.jobs["bfs:baseline"]
+    assert job.state == DONE
+    assert job.result == {"cycles": 10.0}
+    assert job.owner == ""
+    assert state.counters["queued"] == 1
+    assert state.counters["leased"] == 1
+    assert state.counters["done"] == 1
+
+
+def test_fail_path_records_class_and_message():
+    state = QueueState()
+    state.apply(submit_record(2))
+    state.apply(rec(3, "lease", {"job_id": "bfs:baseline", "owner": "serve-1",
+                                 "unix": 0.0}))
+    state.apply(rec(4, "start", {"job_id": "bfs:baseline"}))
+    state.apply(rec(5, "retry", {"job_id": "bfs:baseline", "attempt": 0,
+                                 "error_class": "worker_crash"}))
+    state.apply(rec(6, "fail", {"job_id": "bfs:baseline",
+                                "error_class": "worker_crash",
+                                "message": "died", "attempts": 2}))
+    job = state.jobs["bfs:baseline"]
+    assert job.state == FAILED
+    assert job.marker == "FAILED(worker_crash)"
+    assert job.attempts == 2
+    assert state.counters["retried"] == 1
+
+
+def test_quarantine_marker_carries_cause():
+    state = QueueState()
+    state.apply(submit_record(2))
+    state.apply(rec(3, "quarantine", {"job_id": "bfs:baseline",
+                                      "cause_class": "livelock",
+                                      "message": "breaker open"}))
+    job = state.jobs["bfs:baseline"]
+    assert job.state == QUARANTINED
+    assert job.marker == "FAILED(quarantined:livelock)"
+
+
+def test_reclaim_returns_to_submitted_preserving_attempts():
+    state = QueueState()
+    state.apply(submit_record(2))
+    state.apply(rec(3, "lease", {"job_id": "bfs:baseline", "owner": "serve-1",
+                                 "unix": 0.0}))
+    state.apply(rec(4, "start", {"job_id": "bfs:baseline"}))
+    state.apply(rec(5, "retry", {"job_id": "bfs:baseline", "attempt": 0,
+                                 "error_class": "timeout"}))
+    state.apply(rec(6, "reclaim", {"job_id": "bfs:baseline"}))
+    job = state.jobs["bfs:baseline"]
+    assert job.state == SUBMITTED
+    assert job.owner == ""
+    assert job.attempts == 1  # retries survive reclamation
+    assert state.pending()[0].job_id == "bfs:baseline"
+
+
+def test_illegal_transition_raises():
+    state = QueueState()
+    state.apply(submit_record(2))
+    with pytest.raises(JournalError, match="illegal state transition"):
+        state.apply(rec(3, "done", {"job_id": "bfs:baseline",
+                                    "result": {}, "attempts": 1}))
+
+
+def test_duplicate_submit_raises():
+    state = QueueState()
+    state.apply(submit_record(2))
+    with pytest.raises(JournalError, match="duplicate"):
+        state.apply(submit_record(3))
+
+
+def test_unknown_job_raises():
+    state = QueueState()
+    with pytest.raises(JournalError, match="unknown job"):
+        state.apply(rec(2, "lease", {"job_id": "ghost", "owner": "x",
+                                     "unix": 0.0}))
+
+
+def test_unknown_record_type_raises():
+    state = QueueState()
+    with pytest.raises(JournalError, match="unknown journal record type"):
+        state.apply(rec(2, "frobnicate", {}))
+
+
+def test_pending_is_fifo():
+    state = QueueState()
+    state.apply(submit_record(2, "bfs:baseline", "bfs"))
+    state.apply(submit_record(3, "atax:baseline", "atax"))
+    state.apply(submit_record(4, "nw:baseline", "nw"))
+    assert [j.job_id for j in state.pending()] == [
+        "bfs:baseline", "atax:baseline", "nw:baseline",
+    ]
+
+
+def test_shed_counts_without_entering_queue():
+    state = QueueState()
+    state.apply(rec(2, "shed", {"job_id": "bfs:baseline",
+                                "reason": "load shed"}))
+    assert state.counters["shed"] == 1
+    assert state.jobs == {}
+
+
+def test_snapshot_round_trip():
+    state = QueueState()
+    state.apply(submit_record(2, "bfs:baseline", "bfs"))
+    state.apply(submit_record(3, "atax:baseline", "atax"))
+    state.apply(rec(4, "lease", {"job_id": "bfs:baseline", "owner": "serve-9",
+                                 "unix": 1.5}))
+    snapshot = state.snapshot_payload({"bfs": {"state": "CLOSED"}})
+
+    restored = QueueState()
+    restored.apply(rec(10, "snapshot", snapshot))
+    assert restored.order == state.order
+    assert restored.counters == state.counters
+    assert restored.jobs["bfs:baseline"].state == LEASED
+    assert restored.jobs["bfs:baseline"].leased_unix == 1.5
+    assert restored.breaker_payloads == {"bfs": {"state": "CLOSED"}}
+
+
+def test_clean_shutdown_flag_tracks_last_record():
+    state = QueueState()
+    state.apply(submit_record(2))
+    state.apply(rec(3, "shutdown", {"clean": True, "pending": 1}))
+    assert state.clean_shutdown
+    state.apply(submit_record(4, "atax:baseline", "atax"))
+    assert not state.clean_shutdown
+
+
+# --------------------------------------------------------------------- #
+# Admission control
+# --------------------------------------------------------------------- #
+
+
+def make_admission(max_depth=10, high=4, low=2):
+    return AdmissionController(
+        AdmissionPolicy(max_depth=max_depth, high_watermark=high,
+                        low_watermark=low)
+    )
+
+
+def test_admits_below_high_watermark():
+    admission = make_admission()
+    decision = admission.decide(3)
+    assert decision.admitted and decision.reason == ""
+
+
+def test_sheds_at_high_watermark_with_reason():
+    admission = make_admission()
+    decision = admission.decide(4)
+    assert not decision.admitted
+    assert "load shed" in decision.reason
+
+
+def test_hard_cap_reason_differs():
+    admission = make_admission()
+    decision = admission.decide(10)
+    assert not decision.admitted
+    assert "hard depth cap" in decision.reason
+
+
+def test_backpressure_hysteresis():
+    admission = make_admission(high=4, low=2)
+    assert not admission.backpressure(3)
+    assert admission.backpressure(4)      # raised at high
+    assert admission.backpressure(3)      # held between the watermarks
+    assert not admission.backpressure(2)  # cleared at low
+    assert not admission.backpressure(3)  # stays clear until high again
+
+
+def test_admission_policy_validation():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_depth=10, high_watermark=11, low_watermark=1)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_depth=10, high_watermark=4, low_watermark=5)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_depth=10, high_watermark=4, low_watermark=0)
+
+
+# --------------------------------------------------------------------- #
+# Leases
+# --------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_lease_grant_heartbeat_expiry():
+    clock = FakeClock()
+    table = LeaseTable(ttl=10.0, clock=clock)
+    table.grant("bfs:baseline", "serve-1")
+    clock.now = 8.0
+    table.heartbeat("bfs:baseline")
+    clock.now = 15.0
+    assert table.expired() == []  # heartbeat at t=8 keeps it live to 18
+    clock.now = 19.0
+    assert [l.job_id for l in table.expired()] == ["bfs:baseline"]
+    assert table.ages() == {"bfs:baseline": 19.0}
+
+
+def test_lease_double_grant_raises():
+    table = LeaseTable()
+    table.grant("a", "serve-1")
+    with pytest.raises(JournalError, match="already leased"):
+        table.grant("a", "serve-2")
+
+
+def test_lease_release_unknown_raises():
+    with pytest.raises(JournalError, match="without a lease"):
+        LeaseTable().release("ghost")
+
+
+def test_lease_heartbeat_unknown_raises():
+    with pytest.raises(JournalError, match="without a lease"):
+        LeaseTable().heartbeat("ghost")
+
+
+# --------------------------------------------------------------------- #
+# Service invariants
+# --------------------------------------------------------------------- #
+
+
+def coherent_state():
+    state = QueueState()
+    state.apply(submit_record(2))
+    state.apply(rec(3, "lease", {"job_id": "bfs:baseline", "owner": "serve-1",
+                                 "unix": 0.0}))
+    leases = LeaseTable()
+    leases.grant("bfs:baseline", "serve-1")
+    return state, leases
+
+
+def test_invariants_pass_on_coherent_state():
+    check_service_invariants(*coherent_state())
+
+
+def test_invariant_lease_missing():
+    state, _ = coherent_state()
+    with pytest.raises(SanitizerError, match="service.lease.missing"):
+        check_service_invariants(state, LeaseTable())
+
+
+def test_invariant_lease_orphan():
+    state = QueueState()
+    leases = LeaseTable()
+    leases.grant("ghost", "serve-1")
+    with pytest.raises(SanitizerError, match="service.lease.orphan"):
+        check_service_invariants(state, leases)
+
+
+def test_invariant_lease_owner_mismatch():
+    state, _ = coherent_state()
+    leases = LeaseTable()
+    leases.grant("bfs:baseline", "serve-other")
+    with pytest.raises(SanitizerError, match="service.lease.owner"):
+        check_service_invariants(state, leases)
+
+
+def test_invariant_counter_desync():
+    state, leases = coherent_state()
+    state.counters["done"] = 5
+    with pytest.raises(SanitizerError, match="service.counter.desync"):
+        check_service_invariants(state, leases)
+
+
+def test_invariant_state_unknown():
+    state, leases = coherent_state()
+    state.jobs["bfs:baseline"].state = "LIMBO"
+    with pytest.raises(SanitizerError, match="service.state.unknown"):
+        check_service_invariants(state, leases)
