@@ -52,6 +52,11 @@ class StreamingMultiprocessor:
         record_tlb_trace: bool = False,
     ) -> None:
         self.sim = sim
+        # bound queue reference for the per-transaction path: reading the
+        # clock and posting handle-less events skips the sim.now property
+        # hop and the EventHandle allocation (both profile-visible)
+        self._queue = sim.queue
+        self._post = sim.queue.post
         self.sm_id = sm_id
         self.config = config
         self.geometry = geometry
@@ -63,8 +68,20 @@ class StreamingMultiprocessor:
             self.issue_port = TranslationAwareIssuePort(
                 sim, config.issue_interval
             )
+            self._note_outcome = self.issue_port.note_outcome
         else:
             self.issue_port = GTOIssuePort(sim, config.issue_interval)
+            # plain GTO ignores outcomes; skip the no-op call entirely
+            self._note_outcome = None
+        # page-split arithmetic inlined from the (frozen) geometry: its
+        # vpn()/offset() recompute bit_length per call, and this runs
+        # once per memory transaction
+        self._page_shift = geometry.offset_bits
+        self._page_mask = geometry.offset_mask
+        # bound methods for the per-transaction path (resolve subclass
+        # overrides once instead of per call)
+        self._probe = l1_tlb.probe
+        self._probe_latency = l1_tlb.probe_latency
         self.tbid_alloc = TBIDAllocator(config.max_tbs_per_sm)
         self.resident: Dict[int, TBRuntime] = {}
         self.occupancy_limit = config.max_tbs_per_sm
@@ -132,7 +149,9 @@ class StreamingMultiprocessor:
                 {"tb": trace.tb_index, "hw": hw_id},
             )
         started = False
+        issue_port = self.issue_port
         for warp in warps:
+            self._bind_warp_callbacks(warp, issue_port)
             if warp.done:
                 continue
             started = True
@@ -175,25 +194,36 @@ class StreamingMultiprocessor:
     # ------------------------------------------------------------------ #
     # Warp issue
     # ------------------------------------------------------------------ #
+    def _bind_warp_callbacks(self, warp: WarpRuntime, issue_port) -> None:
+        """Bind the warp's per-transaction closures once at dispatch.
+
+        The issue request, grant, and transaction-completion callbacks
+        close only over the warp, so one set per warp replaces the three
+        allocations per transaction the profile showed.
+        """
+        warp.grant_cb = lambda t: self._on_grant(warp, t)
+        warp.request_cb = lambda: issue_port.request(warp, warp.grant_cb)
+        warp.complete_cb = lambda: self._transaction_complete(warp)
+
     def _schedule_ready(self, warp: WarpRuntime) -> None:
-        self.sim.schedule(
-            warp.ready_time,
-            lambda: self.issue_port.request(warp, lambda t: self._on_grant(warp, t)),
-        )
+        self._post(warp.ready_time, warp.request_cb)
 
     def _on_grant(self, warp: WarpRuntime, grant_time: float) -> None:
         if self.lifecycle is not None:
             self.lifecycle.on_issue(self.sm_id, warp)
-        if warp.tx_issued == 0:
+        # begin/next_transaction inlined: this runs once per transaction
+        tx = warp.tx_issued
+        if tx == 0:
             instr = warp.begin_instruction()
         else:
-            instr = warp.current_instruction()
-        addr = warp.next_transaction()
-        self._start_transaction(warp, addr, instr.is_write, grant_time)
-        if warp.tx_issued < len(instr.transactions):
+            instr = warp.trace.instructions[warp.pc]
+        transactions = instr.transactions
+        warp.tx_issued = tx + 1
+        self._start_transaction(warp, transactions[tx], instr.is_write, grant_time)
+        if warp.tx_issued < len(transactions):
             # Divergent instruction: remaining transactions re-arbitrate,
             # each occupying an issue slot.
-            self.issue_port.request(warp, lambda t: self._on_grant(warp, t))
+            self.issue_port.request(warp, warp.grant_cb)
 
     # ------------------------------------------------------------------ #
     # Translation path
@@ -201,15 +231,16 @@ class StreamingMultiprocessor:
     def _start_transaction(
         self, warp: WarpRuntime, vaddr: int, is_write: bool, now: float
     ) -> None:
-        vpn = self.geometry.vpn(vaddr)
+        vpn = vaddr >> self._page_shift
         hw_tb_id = warp.tb.hw_tb_id
         if self.tlb_trace is not None:
             self.tlb_trace.append((warp.tb.trace.tb_index, vpn))
-        result = self.l1_tlb.probe(vpn, hw_tb_id)
-        self.issue_port.note_outcome(warp, result.hit)
-        lookup_done = now + self.l1_tlb.probe_latency(result.sets_probed)
+        result = self._probe(vpn, hw_tb_id)
+        if self._note_outcome is not None:
+            self._note_outcome(warp, result.hit)
+        lookup_done = now + self._probe_latency(result.sets_probed)
         if result.hit:
-            paddr = self.geometry.address(result.ppn, self.geometry.offset(vaddr))
+            paddr = (result.ppn << self._page_shift) | (vaddr & self._page_mask)
             self._data_access(warp, paddr, is_write, lookup_done)
             return
         waiters = self._pending.get(vpn)
@@ -225,11 +256,11 @@ class StreamingMultiprocessor:
         )
 
     def _translation_reply(self, vpn: int, ppn: int) -> None:
-        back_at_sm = self.sim.now + self.memory.noc.traversal_latency
-        self.sim.schedule(back_at_sm, lambda: self._translation_filled(vpn, ppn))
+        back_at_sm = self._queue.now + self.memory.noc.traversal_latency
+        self._post(back_at_sm, lambda: self._translation_filled(vpn, ppn))
 
     def _translation_filled(self, vpn: int, ppn: int) -> None:
-        now = self.sim.now
+        now = self._queue.now
         tracer = self._tracer
         filled_for = set()
         for warp, vaddr, is_write, hw_tb_id, miss_time in self._pending.pop(vpn, ()):
@@ -245,7 +276,7 @@ class StreamingMultiprocessor:
                     self._stall_track,
                     {"tb": warp.tb.trace.tb_index, "vpn": vpn},
                 )
-            paddr = self.geometry.address(ppn, self.geometry.offset(vaddr))
+            paddr = (ppn << self._page_shift) | (vaddr & self._page_mask)
             self._data_access(warp, paddr, is_write, now)
 
     # ------------------------------------------------------------------ #
@@ -254,21 +285,19 @@ class StreamingMultiprocessor:
     def _data_access(
         self, warp: WarpRuntime, paddr: int, is_write: bool, now: float
     ) -> None:
-        if now > self.sim.now:
-            self.sim.schedule(
+        if now > self._queue.now:
+            self._post(
                 now, lambda: self.memory.access(
-                    paddr, now, lambda: self._transaction_complete(warp), is_write
+                    paddr, now, warp.complete_cb, is_write
                 )
             )
         else:
-            self.memory.access(
-                paddr, now, lambda: self._transaction_complete(warp), is_write
-            )
+            self.memory.access(paddr, now, warp.complete_cb, is_write)
 
     def _transaction_complete(self, warp: WarpRuntime) -> None:
         if not warp.transaction_done():
             return
-        now = self.sim.now
+        now = self._queue.now
         if warp.done:
             if warp.tb.warp_finished():
                 self._finish_tb(warp.tb)

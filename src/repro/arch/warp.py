@@ -26,6 +26,9 @@ class WarpRuntime:
         "outstanding",
         "ready_time",
         "done",
+        "request_cb",
+        "grant_cb",
+        "complete_cb",
     )
 
     def __init__(self, trace: WarpTrace, warp_id: int, tb, age: int) -> None:
@@ -38,6 +41,11 @@ class WarpRuntime:
         self.outstanding = 0         # transactions in flight for current instr
         self.ready_time = 0.0        # earliest time the warp can issue
         self.done = len(trace.instructions) == 0
+        # issue/completion closures, bound once by the SM at dispatch so
+        # the per-transaction hot path allocates no lambdas
+        self.request_cb = None
+        self.grant_cb = None
+        self.complete_cb = None
 
     def current_instruction(self) -> Optional[MemoryInstruction]:
         if self.pc >= len(self.trace.instructions):

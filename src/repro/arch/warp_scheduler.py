@@ -9,23 +9,45 @@ greedy warp if it is waiting, else the lowest-``age`` waiter.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from heapq import heapify, heappop, heappush
+from operator import attrgetter
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..engine.simulator import Simulator
 from .warp import WarpRuntime
 
 GrantCallback = Callable[[float], None]
 
+_AGE = attrgetter("age")
+
 
 class GTOIssuePort:
-    """Event-driven GTO issue port for one SM."""
+    """Event-driven GTO issue port for one SM.
+
+    The oldest-warp fallback runs off a lazy-deletion age heap: a
+    request pushes ``(age, seq, warp)`` and arbitration pops until the
+    top entry's warp is still waiting.  Dispatch ages are globally
+    unique (the GPU advances its age base per thread block), so the
+    heap's minimum is exactly ``min(waiting, key=age)`` — without the
+    O(waiting) scan per arbitration the profile showed.  Greedy grants
+    leave their entry behind; a compaction rebuild bounds the garbage.
+    """
+
+    #: TranslationAwareIssuePort overrides ``_pick`` with an
+    #: outcome-filtered scan and opts out of heap maintenance
+    _uses_age_heap = True
 
     def __init__(self, sim: Simulator, issue_interval: float = 1.0) -> None:
         if issue_interval <= 0:
             raise ValueError(f"issue interval must be positive: {issue_interval}")
         self.sim = sim
+        # bound queue reference: _kick/_arbitrate run per issue slot and
+        # read the clock / post events with no property or forwarding hop
+        self._queue = sim.queue
         self.issue_interval = issue_interval
         self._waiting: Dict[WarpRuntime, GrantCallback] = {}
+        self._age_heap: List[Tuple[int, int, WarpRuntime]] = []
+        self._heap_seq = 0
         self._busy_until = 0.0
         self._arbitration_pending = False
         self._last_issued: Optional[WarpRuntime] = None
@@ -35,34 +57,63 @@ class GTOIssuePort:
         if warp in self._waiting:
             raise RuntimeError(f"{warp!r} already waiting on the issue port")
         self._waiting[warp] = callback
+        if self._uses_age_heap:
+            seq = self._heap_seq
+            self._heap_seq = seq + 1
+            heappush(self._age_heap, (warp.age, seq, warp))
         self._kick()
 
     def _kick(self) -> None:
         if self._arbitration_pending or not self._waiting:
             return
         self._arbitration_pending = True
-        now = self.sim.now
+        queue = self._queue
+        now = queue.now
         when = now if now >= self._busy_until else self._busy_until
-        self.sim.schedule(when, self._arbitrate, priority=-1)
+        queue.post(when, self._arbitrate, -1)
 
     def _arbitrate(self) -> None:
         self._arbitration_pending = False
-        if not self._waiting:
+        waiting = self._waiting
+        if not waiting:
             return
-        now = self.sim.now
-        warp = self._pick()
-        callback = self._waiting.pop(warp)
+        now = self._queue.now
+        # greedy fast path inlined from _pick (the common case)
+        last = self._last_issued
+        if last is not None and last in waiting:
+            warp = last
+        else:
+            warp = self._pick()
+        callback = waiting.pop(warp)
         self._last_issued = warp
-        self._busy_until = now + self.issue_interval
+        busy = now + self.issue_interval
+        self._busy_until = busy
         callback(now)
-        self._kick()
+        # tail _kick inlined: the port just went busy until ``busy`` > now,
+        # so a pending follow-up arbitration always lands at ``busy`` (the
+        # callback cannot advance the clock, only event pops do)
+        if not self._arbitration_pending and self._waiting:
+            self._arbitration_pending = True
+            self._queue.post(busy, self._arbitrate, -1)
 
     def _pick(self) -> WarpRuntime:
         """GTO: greedy (last issued) if ready, else oldest by dispatch age."""
         last = self._last_issued
-        if last is not None and last in self._waiting:
+        waiting = self._waiting
+        if last is not None and last in waiting:
             return last
-        return min(self._waiting, key=lambda w: w.age)
+        heap = self._age_heap
+        if len(heap) > 32 and len(heap) > 4 * len(waiting):
+            # drop entries stranded by greedy grants (which bypass the
+            # heap); insertion order of the dict keeps this deterministic
+            heap[:] = [(w.age, i, w) for i, w in enumerate(waiting)]
+            heapify(heap)
+            self._heap_seq = len(heap)
+        while True:
+            warp = heap[0][2]
+            heappop(heap)
+            if warp in waiting:
+                return warp
 
     @property
     def waiting_count(self) -> int:
@@ -83,6 +134,8 @@ class TranslationAwareIssuePort(GTOIssuePort):
     misses resolve, giving hitting warps time to exploit their locality.
     """
 
+    _uses_age_heap = False
+
     def __init__(self, sim: Simulator, issue_interval: float = 1.0) -> None:
         super().__init__(sim, issue_interval)
         self._missed_last: Dict[WarpRuntime, bool] = {}
@@ -92,10 +145,21 @@ class TranslationAwareIssuePort(GTOIssuePort):
 
     def _pick(self) -> WarpRuntime:
         last = self._last_issued
-        if last is not None and last in self._waiting:
+        waiting = self._waiting
+        if last is not None and last in waiting:
             return last
-        hitting = [
-            w for w in self._waiting if not self._missed_last.get(w, False)
-        ]
-        pool = hitting if hitting else list(self._waiting)
-        return min(pool, key=lambda w: w.age)
+        # single pass for the oldest hitting warp (ages are unique, so
+        # strict < reproduces min()'s choice without building the list)
+        missed = self._missed_last
+        missed_get = missed.get
+        best: Optional[WarpRuntime] = None
+        best_age = 0
+        for w in waiting:
+            if not missed_get(w, False):
+                age = w.age
+                if best is None or age < best_age:
+                    best = w
+                    best_age = age
+        if best is not None:
+            return best
+        return min(waiting, key=_AGE)

@@ -1,0 +1,36 @@
+"""Reproducible micro/meso benchmark harness (``repro bench``).
+
+The bench package pins a small set of deterministic workloads against
+the simulator's hot paths — event-queue churn, TLB steady state,
+resource-pool grants, coalescing, warp-scheduler arbitration, and one
+full fig2 cell — and reports wall-clock percentiles plus throughput for
+each.  Results are written as ``BENCH_<tag>.json`` so every perf PR
+appends one point to the repo's performance trajectory, and
+``tools/goldens/bench_baseline.json`` (recorded on the pre-optimization
+tree) anchors the perf-regression gate in ``tests/test_perf_gate.py``.
+
+Every bench is seeded and fixed-size: two runs of the same tree execute
+byte-identical operation streams, so wall-time ratios between trees
+measure the code, not the workload.
+"""
+
+from .benches import BENCHES, BenchSpec
+from .harness import (
+    BenchResult,
+    compare_to_baseline,
+    format_results,
+    load_report,
+    run_benches,
+    write_report,
+)
+
+__all__ = [
+    "BENCHES",
+    "BenchSpec",
+    "BenchResult",
+    "compare_to_baseline",
+    "format_results",
+    "load_report",
+    "run_benches",
+    "write_report",
+]

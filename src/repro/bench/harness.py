@@ -1,0 +1,207 @@
+"""Trial runner, percentile reporting, and BENCH_*.json serialization.
+
+The harness runs each pinned bench for ``trials`` timed repetitions
+(after one untimed warm-up that also JITs import paths and fills
+allocator pools), reports p50/p95 wall time and median throughput, and
+serializes everything to a ``BENCH_<tag>.json`` report.  Reports are
+self-describing (schema, python version, quick flag) so trajectory
+points from different PRs can be compared honestly — the perf gate
+refuses to compare a quick report against a full baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine.atomic import atomic_write
+from .benches import BENCHES, BenchSpec
+
+SCHEMA = "repro-bench/1"
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values, p in [0, 100]."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass
+class BenchResult:
+    """Timing summary of one bench across its trials."""
+
+    name: str
+    unit: str
+    #: work units one body invocation performs (identical across trials)
+    ops: float
+    #: per-trial wall seconds, in execution order
+    wall: List[float] = field(default_factory=list)
+
+    @property
+    def wall_p50(self) -> float:
+        return _percentile(sorted(self.wall), 50.0)
+
+    @property
+    def wall_p95(self) -> float:
+        return _percentile(sorted(self.wall), 95.0)
+
+    @property
+    def throughput(self) -> float:
+        """Median work units per second (robust to a noisy trial)."""
+        p50 = self.wall_p50
+        return self.ops / p50 if p50 > 0 else float("inf")
+
+    def to_dict(self) -> Dict:
+        return {
+            "unit": self.unit,
+            "ops": self.ops,
+            "trials": len(self.wall),
+            "wall_s": [round(w, 6) for w in self.wall],
+            "wall_p50_s": round(self.wall_p50, 6),
+            "wall_p95_s": round(self.wall_p95, 6),
+            "throughput_per_s": round(self.throughput, 2),
+        }
+
+
+def run_benches(
+    names: Optional[Iterable[str]] = None,
+    trials: int = 5,
+    quick: bool = False,
+    progress=None,
+) -> List[BenchResult]:
+    """Run the selected benches and return one result per bench.
+
+    ``names=None`` runs the full pinned suite in its registry order.
+    Each bench gets a fresh setup per trial plus one untimed warm-up.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    selected: List[BenchSpec] = []
+    for name in names if names is not None else BENCHES:
+        if name not in BENCHES:
+            raise ValueError(
+                f"unknown bench {name!r} (available: {', '.join(BENCHES)})"
+            )
+        selected.append(BENCHES[name])
+    results: List[BenchResult] = []
+    for spec in selected:
+        if progress is not None:
+            progress(spec.name)
+        body = spec.setup(quick)
+        ops = body()  # warm-up, untimed; also pins the op count
+        result = BenchResult(spec.name, spec.unit, ops)
+        for _ in range(trials):
+            start = time.perf_counter()
+            done = body()
+            elapsed = time.perf_counter() - start
+            if done != ops:
+                raise RuntimeError(
+                    f"bench {spec.name} is not deterministic: "
+                    f"{done} ops vs {ops} in warm-up"
+                )
+            result.wall.append(elapsed)
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Reports
+# --------------------------------------------------------------------- #
+def write_report(
+    path: str,
+    results: List[BenchResult],
+    trials: int,
+    quick: bool,
+    tag: str,
+) -> str:
+    """Serialize results as a BENCH_*.json trajectory point."""
+    payload = {
+        "schema": SCHEMA,
+        "tag": tag,
+        "quick": quick,
+        "trials": trials,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "benches": {r.name: r.to_dict() for r in results},
+    }
+    atomic_write(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path!r} is not a {SCHEMA} report "
+            f"(schema={payload.get('schema')!r})"
+        )
+    return payload
+
+
+def compare_to_baseline(
+    results: List[BenchResult], baseline: Dict
+) -> Dict[str, float]:
+    """Per-bench speedup vs a baseline report (baseline_p50 / current_p50).
+
+    Benches absent from the baseline are skipped — a new bench has no
+    trajectory yet.  >1.0 means the current tree is faster.
+    """
+    speedups: Dict[str, float] = {}
+    benches = baseline.get("benches", {})
+    for result in results:
+        base = benches.get(result.name)
+        if base is None:
+            continue
+        current = result.wall_p50
+        if current <= 0:
+            continue
+        speedups[result.name] = base["wall_p50_s"] / current
+    return speedups
+
+
+def format_results(
+    results: List[BenchResult],
+    speedups: Optional[Dict[str, float]] = None,
+) -> str:
+    """Human-readable table, one row per bench."""
+    header = (
+        f"{'bench':20s} {'unit':8s} {'ops':>10s} {'p50 ms':>9s} "
+        f"{'p95 ms':>9s} {'throughput/s':>14s}"
+    )
+    if speedups is not None:
+        header += f" {'vs base':>8s}"
+    lines = [header]
+    for r in results:
+        line = (
+            f"{r.name:20s} {r.unit:8s} {r.ops:10.0f} "
+            f"{r.wall_p50 * 1e3:9.2f} {r.wall_p95 * 1e3:9.2f} "
+            f"{r.throughput:14.0f}"
+        )
+        if speedups is not None:
+            sp = speedups.get(r.name)
+            line += f" {sp:7.2f}x" if sp is not None else f" {'—':>8s}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Standalone entry point (``python -m repro.bench.harness``)."""
+    from ..cli import main as cli_main
+
+    return cli_main(["bench"] + list(argv or sys.argv[1:]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

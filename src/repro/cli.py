@@ -106,6 +106,12 @@ def _add_exec_group(parser: argparse.ArgumentParser) -> None:
              "'off' overrides REPRO_SANITIZE); violations exit 9 with "
              "a sanitizer:<tag> error class",
     )
+    group.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="run up to N sweep cells concurrently in supervised "
+             "subprocess workers (results stay deterministic and are "
+             "integrated in submission order; default: 1, sequential)",
+    )
 
 
 def _add_telemetry_group(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +148,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         trace_path=getattr(args, "trace", None),
         sample_every=getattr(args, "sample_every", None),
         sanitize=getattr(args, "sanitize", None),
+        parallel=max(1, getattr(args, "parallel", 1) or 1),
     )
 
 
@@ -217,6 +224,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     with GracefulInterrupt() as interrupt:
         i = 0
         try:
+            if runner.parallel > 1:
+                runner.prefetch([(args.benchmark, n) for n in args.configs])
             for i, name in enumerate(args.configs):
                 result = runner.run(args.benchmark, name)
                 if base is None:
@@ -299,6 +308,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         argv.extend(["--benchmarks"] + args.benchmarks)
     if args.sanitize is not None:
         argv.extend(["--sanitize", args.sanitize])
+    if getattr(args, "parallel", 1) and args.parallel > 1:
+        argv.extend(["--parallel", str(args.parallel)])
     return report.main(argv)
 
 
@@ -332,6 +343,46 @@ def cmd_check(args: argparse.Namespace) -> int:
         print("repro check: FAILED", file=sys.stderr)
         return 1
     print("repro check: all checks passed")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Pinned micro/meso benchmarks + BENCH_*.json trajectory point."""
+    from .bench import (
+        compare_to_baseline,
+        format_results,
+        load_report,
+        run_benches,
+        write_report,
+    )
+
+    results = run_benches(
+        names=args.benches,
+        trials=args.trials,
+        quick=args.quick,
+        progress=lambda name: print(f"[bench] {name}", flush=True),
+    )
+    speedups = None
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if baseline.get("quick") != args.quick:
+            print(
+                f"baseline {args.baseline!r} was recorded with "
+                f"quick={baseline.get('quick')}; rerun with matching "
+                f"sizes for an honest comparison", file=sys.stderr,
+            )
+            return 2
+        speedups = compare_to_baseline(results, baseline)
+    print(format_results(results, speedups))
+    out = args.out or f"BENCH_{args.tag}.json"
+    write_report(out, results, trials=args.trials, quick=args.quick,
+                 tag=args.tag)
+    print(f"report           {out}")
     return 0
 
 
@@ -584,6 +635,41 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="goldens_only",
                        help="run only the golden gate")
     p_chk.set_defaults(func=cmd_check)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the pinned perf benchmarks, write BENCH_<tag>.json",
+    )
+    from .bench import BENCHES as _BENCHES
+
+    p_bench.add_argument(
+        "--benches", nargs="+", default=None, metavar="BENCH",
+        choices=sorted(_BENCHES),
+        help="run only these benches (default: full pinned suite)",
+    )
+    p_bench.add_argument(
+        "--trials", type=int, default=5, metavar="N",
+        help="timed repetitions per bench after one warm-up (default: 5)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="shrink workload sizes ~10x (CI smoke; reports marked quick)",
+    )
+    p_bench.add_argument(
+        "--tag", default="PR5", metavar="TAG",
+        help="trajectory label; the report is BENCH_<tag>.json "
+             "(default: PR5)",
+    )
+    p_bench.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="explicit report path (overrides --tag naming)",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against a recorded report "
+             "(e.g. tools/goldens/bench_baseline.json)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_trace = sub.add_parser(
         "trace", help="summarize a Chrome trace written by --trace"

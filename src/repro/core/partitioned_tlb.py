@@ -68,16 +68,40 @@ class TBIDIndexPolicy(IndexPolicy):
             self._bounds = [
                 (i * self.num_sets) // occupancy for i in range(occupancy + 1)
             ]
+        self._rebuild_slot_cache()
+
+    def _rebuild_slot_cache(self) -> None:
+        """Precompute per-slot set tuples and per-(slot, residue) insert
+        orders so the per-access path is two indexed loads, not list
+        construction.  Occupancy changes are per-kernel (rare); accesses
+        are per-transaction (hot)."""
+        if self.occupancy >= self.num_sets:
+            # More concurrent TBs than sets: TBs share sets from the
+            # start, one set per TB-id residue.
+            self._slot_mod = self.num_sets
+            self._own_sets = tuple((s,) for s in range(self.num_sets))
+        else:
+            bounds = self._bounds
+            self._slot_mod = self.occupancy
+            self._own_sets = tuple(
+                tuple(range(bounds[i], bounds[i + 1]))
+                for i in range(self.occupancy)
+            )
+        # insert order for (slot, vpn-group residue): preferred set
+        # first, then the slot's remaining sets in index order
+        self._insert_orders = tuple(
+            tuple(
+                (own[r],) + tuple(s for s in own if s != own[r])
+                for r in range(len(own))
+            )
+            for own in self._own_sets
+        )
 
     def sets_for(self, tb_id: int) -> Sequence[int]:
         """The sets owned by ``tb_id`` under the current occupancy."""
         if tb_id < 0:
             raise ValueError(f"negative TB id {tb_id}")
-        if self.occupancy >= self.num_sets:
-            # More concurrent TBs than sets: TBs share sets from the start.
-            return (tb_id % self.num_sets,)
-        slot = tb_id % self.occupancy
-        return range(self._bounds[slot], self._bounds[slot + 1])
+        return self._own_sets[tb_id % self._slot_mod]
 
     def _require_tb(self, tb_id: Optional[int]) -> int:
         if tb_id is None:
@@ -85,25 +109,38 @@ class TBIDIndexPolicy(IndexPolicy):
         return tb_id
 
     def lookup_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
-        tb = self._require_tb(tb_id)
-        own = list(self.sets_for(tb))
-        if self.sharing is not None:
-            for partner in self.sharing.partners(tb):
-                own.extend(self.sets_for(partner))
-        return own
+        if tb_id is None or tb_id < 0:
+            self._require_tb(tb_id)
+            raise ValueError(f"negative TB id {tb_id}")
+        sharing = self.sharing
+        own = self._own_sets[tb_id % self._slot_mod]
+        # fast path: no sharing register, or this TB's flag is clear —
+        # the flag mirrors partners() being non-empty in every register
+        # variant, so reading it skips a call and a list build per probe
+        if sharing is None or not sharing._flags[tb_id]:
+            return own
+        combined = list(own)
+        for partner in sharing.partners(tb_id):
+            combined.extend(self._own_sets[partner % self._slot_mod])
+        return combined
 
     def insert_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
         """Preferred own set first (VPN-spread within the TB's sets), then
         the remaining own sets, then any shared partner sets — the latter
         only so an already-present (spilled) entry refreshes in place."""
-        tb = self._require_tb(tb_id)
-        own = list(self.sets_for(tb))
-        preferred = own[(vpn // self.granularity) % len(own)]
-        ordered = [preferred] + [s for s in own if s != preferred]
-        if self.sharing is not None:
-            for partner in self.sharing.partners(tb):
-                ordered.extend(self.sets_for(partner))
-        return ordered
+        if tb_id is None or tb_id < 0:
+            self._require_tb(tb_id)
+            raise ValueError(f"negative TB id {tb_id}")
+        sharing = self.sharing
+        slot = tb_id % self._slot_mod
+        orders = self._insert_orders[slot]
+        ordered = orders[(vpn // self.granularity) % len(orders)]
+        if sharing is None or not sharing._flags[tb_id]:
+            return ordered
+        combined = list(ordered)
+        for partner in sharing.partners(tb_id):
+            combined.extend(self._own_sets[partner % self._slot_mod])
+        return combined
 
 
 class _PartitioningMixin:

@@ -75,6 +75,7 @@ def run_all(
     fault_plan: Optional[FaultPlan] = None,
     strict: bool = False,
     sanitize: Optional[str] = None,
+    parallel: int = 1,
     runner: Optional[ExperimentRunner] = None,
 ) -> Tuple[List[ExperimentReport], ExperimentRunner]:
     """Regenerate every experiment.
@@ -100,6 +101,7 @@ def run_all(
             fault_plan=fault_plan,
             strict=strict,
             sanitize=sanitize,
+            parallel=parallel,
         )
     if runner.cells_restored:
         note(f"resumed {runner.cells_restored} cells from checkpoint")
@@ -266,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="runtime invariant checking for every cell "
                              "(bare flag means strict; 'off' overrides "
                              "REPRO_SANITIZE)")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="simulate up to N cells concurrently in "
+                             "supervised workers (deterministic results; "
+                             "default: 1)")
     return parser
 
 
@@ -284,6 +290,7 @@ def main(argv: List[str]) -> int:
         fault_plan=FaultPlan.from_env(),
         strict=args.strict,
         sanitize=args.sanitize,
+        parallel=max(1, args.parallel),
     )
     text = render_markdown(reports, args.scale, runner)
     print(text)

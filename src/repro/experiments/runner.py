@@ -27,8 +27,9 @@ from __future__ import annotations
 import math
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..arch.config import GPUConfig
 from ..arch.gpu import RunResult
@@ -88,6 +89,9 @@ class ExperimentRunner:
     #: ``None`` lets workers fall back to REPRO_SANITIZE, "off" forces it
     #: off even when the environment asks for it
     sanitize: Optional[str] = None
+    #: supervised worker processes used by :meth:`prefetch`; 1 keeps
+    #: every cell sequential and in-process (the default behaviour)
+    parallel: int = 1
     _kernels: Dict[str, Kernel] = field(default_factory=dict)
     _results: Dict[CellKey, RunResult] = field(default_factory=dict)
     _failed: Dict[CellKey, RunResult] = field(default_factory=dict)
@@ -213,6 +217,53 @@ class ExperimentRunner:
         supervision, checkpointing, degradation, and telemetry as named
         ones.
         """
+        spec, cell_trace = self._make_spec(
+            benchmark,
+            config,
+            tag,
+            record_tlb_trace=record_tlb_trace,
+            occupancy_override=occupancy_override,
+            sample_every=sample_every,
+        )
+        key = spec.key
+        if key in self._results:
+            return self._results[key]
+        if key in self._failed:
+            return self._failed[key]
+        try:
+            result = self._execute(spec)
+        except SimulationError as exc:
+            failure = CellFailure(
+                error_class=classify(exc),
+                message=str(exc),
+                attempts=getattr(exc, "attempts", 1),
+                elapsed=getattr(exc, "elapsed", 0.0),
+            )
+            self.failures[key] = failure
+            if self.strict:
+                raise
+            placeholder = RunResult.make_failed(benchmark, failure.error_class)
+            self._failed[key] = placeholder
+            return placeholder
+        self.cells_simulated += 1
+        self._results[key] = result
+        if cell_trace is not None:
+            self._trace_parts.append((f"{benchmark}:{tag}", cell_trace))
+        if self._store is not None:
+            self._store.append(key, result.to_dict())
+        return result
+
+    def _make_spec(
+        self,
+        benchmark: str,
+        config: GPUConfig,
+        tag: str,
+        record_tlb_trace: bool = False,
+        occupancy_override: Optional[int] = None,
+        sample_every: Optional[int] = None,
+    ) -> Tuple[CellSpec, Optional[str]]:
+        """Validate the config against any resumed manifest and build the
+        :class:`CellSpec` (plus per-cell trace part path) for one cell."""
         current_hash = self._config_hashes.setdefault(tag, config_hash(config))
         resumed = self._resumed_hashes.get(tag)
         if resumed is not None and resumed != current_hash:
@@ -245,42 +296,100 @@ class ExperimentRunner:
             telemetry=telemetry,
             sanitize=self.sanitize,
         )
-        key = spec.key
-        if key in self._results:
-            return self._results[key]
-        if key in self._failed:
-            return self._failed[key]
-        try:
-            result = self._execute(spec)
-        except SimulationError as exc:
-            failure = CellFailure(
-                error_class=classify(exc),
-                message=str(exc),
-                attempts=getattr(exc, "attempts", 1),
-                elapsed=getattr(exc, "elapsed", 0.0),
-            )
-            self.failures[key] = failure
-            if self.strict:
-                raise
-            placeholder = RunResult.make_failed(benchmark, failure.error_class)
-            self._failed[key] = placeholder
-            return placeholder
-        self.cells_simulated += 1
-        self._results[key] = result
-        if cell_trace is not None:
-            self._trace_parts.append((f"{benchmark}:{tag}", cell_trace))
-        if self._store is not None:
-            self._store.append(key, result.to_dict())
-        return result
+        return spec, cell_trace
 
     def _execute(self, spec: CellSpec) -> RunResult:
         if self.supervised:
             return RunResult.from_dict(self._supervisor.run_cell(spec))
         return simulate_cell(spec)
 
+    # ------------------------------------------------------------------ #
+    # Parallel prefetch
+    # ------------------------------------------------------------------ #
+    def prefetch(
+        self,
+        cells: Sequence[Tuple[str, str]],
+        record_tlb_trace: bool = False,
+    ) -> None:
+        """Simulate ``(benchmark, config_name)`` cells ahead of time,
+        fanned out over ``parallel`` supervised subprocess workers.
+
+        Results are integrated into the memo (and checkpoint) in
+        **submission order**, regardless of worker completion order, so
+        a parallel sweep produces byte-identical bookkeeping to a
+        sequential one; subsequent :meth:`run` calls are memo hits.
+        Falls back to sequential execution when ``parallel <= 1``, when
+        only one cell is missing, or when per-cell tracing is on (trace
+        part numbering is inherently sequential).
+
+        The parallel path always runs cells in supervised workers (the
+        fan-out needs process isolation to actually run concurrently);
+        the ``supervised`` flag only governs the sequential path.
+        """
+        jobs: List[Tuple[CellSpec, str, str]] = []
+        seen_keys = set(self._results) | set(self._failed)
+        for benchmark, config_name in cells:
+            spec, _ = self._make_spec(
+                benchmark,
+                get_config(config_name),
+                config_name,
+                record_tlb_trace=record_tlb_trace,
+            )
+            if spec.key in seen_keys:
+                continue
+            seen_keys.add(spec.key)
+            jobs.append((spec, benchmark, config_name))
+        if not jobs:
+            return
+        if self.parallel <= 1 or len(jobs) == 1 or self.trace_path is not None:
+            for _, benchmark, config_name in jobs:
+                self.run(benchmark, config_name, record_tlb_trace)
+            return
+        # Workers are forked from a (briefly) multi-threaded parent;
+        # importing the worker-side modules here first means the children
+        # find sys.modules populated and never touch the import machinery
+        # mid-fork.
+        _preimport_worker_modules()
+        run_cell = self._supervisor.run_cell
+        with ThreadPoolExecutor(
+            max_workers=min(self.parallel, len(jobs))
+        ) as pool:
+            futures = [pool.submit(run_cell, spec) for spec, _, _ in jobs]
+        # the pool has joined: every future is done; integrate in
+        # deterministic submission order
+        for (spec, benchmark, _), future in zip(jobs, futures):
+            key = spec.key
+            try:
+                result = RunResult.from_dict(future.result())
+            except SimulationError as exc:
+                failure = CellFailure(
+                    error_class=classify(exc),
+                    message=str(exc),
+                    attempts=getattr(exc, "attempts", 1),
+                    elapsed=getattr(exc, "elapsed", 0.0),
+                )
+                self.failures[key] = failure
+                if self.strict:
+                    # mirror a sequential strict sweep: cells before the
+                    # (first, in order) failure are kept, later ones are
+                    # not integrated
+                    raise
+                self._failed[key] = RunResult.make_failed(
+                    benchmark, failure.error_class
+                )
+                continue
+            self.cells_simulated += 1
+            self._results[key] = result
+            if self._store is not None:
+                self._store.append(key, result.to_dict())
+
     def run_all(
         self, config_name: str, record_tlb_trace: bool = False
     ) -> Dict[str, RunResult]:
+        if self.parallel > 1:
+            self.prefetch(
+                [(b, config_name) for b in self.benchmarks], record_tlb_trace
+            )
         return {
             b: self.run(b, config_name, record_tlb_trace)
             for b in self.benchmarks
@@ -362,6 +471,20 @@ class ExperimentRunner:
             # left behind, so the surviving store is byte-exact JSONL
             self._store.close(compact=True)
             self.write_manifest("checkpoint", self._store.path)
+
+
+def _preimport_worker_modules() -> None:
+    """Import everything a cell worker needs before forking from threads.
+
+    ``simulate_cell`` imports the architecture stack lazily; with the
+    modules already in ``sys.modules`` a forked child never acquires the
+    import lock, which a thread in the parent could have held at fork
+    time.
+    """
+    from ..sanitizer.core import Sanitizer  # noqa: F401
+    from ..system import build_gpu  # noqa: F401
+    from ..telemetry import TimeSeriesSampler, Tracer  # noqa: F401
+    from ..workloads import make_benchmark  # noqa: F401
 
 
 # ---------------------------------------------------------------------- #

@@ -44,8 +44,18 @@ class Cache:
         self._misses = self.stats.counter("misses")
         self._evictions = self.stats.counter("evictions")
         self._writebacks = self.stats.counter("writebacks")
+        # every standard config uses power-of-two lines: shift instead
+        # of dividing on each access (exact for negatives too, both are
+        # floor operations)
+        if line_bytes & (line_bytes - 1) == 0:
+            self._line_shift: Optional[int] = line_bytes.bit_length() - 1
+        else:
+            self._line_shift = None
 
     def _line_addr(self, addr: int) -> int:
+        shift = self._line_shift
+        if shift is not None:
+            return addr >> shift
         return addr // self.line_bytes
 
     def _set_index(self, line_addr: int) -> int:
@@ -57,22 +67,24 @@ class Cache:
         A miss does *not* allocate — call :meth:`fill` when the refill
         arrives so that timing models control allocation order.
         """
-        line = self._line_addr(addr)
-        entry_set = self.sets[self._set_index(line)]
+        shift = self._line_shift
+        line = addr >> shift if shift is not None else addr // self.line_bytes
+        entry_set = self.sets[line % self.num_sets]
         if line in entry_set:
             entry_set.move_to_end(line)
             if is_write:
                 entry_set[line] = True
-            self._hits.inc()
+            self._hits.value += 1
             return True
-        self._misses.inc()
+        self._misses.value += 1
         return False
 
     def fill(self, addr: int, is_write: bool = False) -> Optional[int]:
         """Allocate the line containing ``addr``; returns the evicted line
         address (if any).  Dirty evictions bump the writeback counter."""
-        line = self._line_addr(addr)
-        entry_set = self.sets[self._set_index(line)]
+        shift = self._line_shift
+        line = addr >> shift if shift is not None else addr // self.line_bytes
+        entry_set = self.sets[line % self.num_sets]
         if line in entry_set:
             entry_set.move_to_end(line)
             if is_write:

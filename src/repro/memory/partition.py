@@ -71,6 +71,10 @@ class PartitionedMemory:
         if num_partitions <= 0:
             raise ValueError(f"need at least one partition, got {num_partitions}")
         self.line_bytes = line_bytes
+        if line_bytes & (line_bytes - 1) == 0:
+            self._line_shift: Optional[int] = line_bytes.bit_length() - 1
+        else:
+            self._line_shift = None
         self.partitions: List[MemoryPartition] = []
         for i in range(num_partitions):
             group = registry.group(f"partition{i}") if registry is not None else None
@@ -80,11 +84,16 @@ class PartitionedMemory:
 
     def partition_for(self, paddr: int) -> MemoryPartition:
         """Line-interleaved partition selection."""
-        line = paddr // self.line_bytes
+        shift = self._line_shift
+        line = paddr >> shift if shift is not None else paddr // self.line_bytes
         return self.partitions[line % len(self.partitions)]
 
     def access(self, paddr: int, now: float, is_write: bool = False) -> float:
-        return self.partition_for(paddr).access(paddr, now, is_write)
+        # partition_for inlined: this runs once per L1 miss
+        shift = self._line_shift
+        line = paddr >> shift if shift is not None else paddr // self.line_bytes
+        parts = self.partitions
+        return parts[line % len(parts)].access(paddr, now, is_write)
 
     @property
     def num_partitions(self) -> int:

@@ -36,11 +36,23 @@ class SMMemoryPath:
         stats: Optional[StatGroup] = None,
     ) -> None:
         self.sim = sim
+        # handle-less scheduling: access() runs once per transaction and
+        # never cancels its completion events
+        self._post = sim.queue.post
         self.sm_id = sm_id
         self.l1 = l1_cache
         self.noc = interconnect
         self.partitions = partitions
         self.l1_latency = l1_latency
+        # bound methods + line shift for the per-transaction fast path
+        self._l1_access = l1_cache.access
+        self._noc_traverse = interconnect.traverse
+        self._partitions_access = partitions.access
+        line_bytes = l1_cache.line_bytes
+        if line_bytes & (line_bytes - 1) == 0:
+            self._line_shift: Optional[int] = line_bytes.bit_length() - 1
+        else:
+            self._line_shift = None
         self.stats = stats if stats is not None else StatGroup(f"sm{sm_id}_mem")
         self._merged = self.stats.counter("mshr_merged")
         self._pending: Dict[int, List[CompletionCallback]] = {}
@@ -58,10 +70,11 @@ class SMMemoryPath:
         available at the SM.
         """
         l1_done = now + self.l1_latency
-        if self.l1.access(paddr, is_write):
-            self.sim.schedule(l1_done, callback)
+        if self._l1_access(paddr, is_write):
+            self._post(l1_done, callback)
             return
-        line = paddr // self.l1.line_bytes
+        shift = self._line_shift
+        line = paddr >> shift if shift is not None else paddr // self.l1.line_bytes
         waiting = self._pending.get(line)
         if waiting is not None:
             waiting.append(callback)
@@ -70,10 +83,10 @@ class SMMemoryPath:
         self._pending[line] = [callback]
         # Request crosses the NoC, is serviced by the owning partition,
         # and the reply crosses back.
-        at_partition = self.noc.traverse(self.sm_id, l1_done)
-        serviced = self.partitions.access(paddr, at_partition, is_write)
+        at_partition = self._noc_traverse(self.sm_id, l1_done)
+        serviced = self._partitions_access(paddr, at_partition, is_write)
         back_at_sm = serviced + self.noc.traversal_latency
-        self.sim.schedule(back_at_sm, lambda: self._finish_fill(line, paddr, is_write))
+        self._post(back_at_sm, lambda: self._finish_fill(line, paddr, is_write))
 
     def _finish_fill(self, line: int, paddr: int, is_write: bool) -> None:
         self.l1.fill(paddr, is_write)

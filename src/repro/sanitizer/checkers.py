@@ -48,11 +48,16 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Set
 
-from ..engine.event_queue import _Event
+from ..engine.event_queue import E_CALLBACK, E_PRIO, E_TIME
 
 
 class QueueChecker:
-    """Event-queue structural invariants (pending events vs the clock)."""
+    """Event-queue structural invariants (pending events vs the clock).
+
+    Heap entries are plain ``[time, priority, seq, callback]`` lists
+    (see :mod:`repro.engine.event_queue`); a ``None`` callback marks a
+    cancelled entry awaiting lazy removal.
+    """
 
     def __init__(self, queue) -> None:
         self.queue = queue
@@ -63,13 +68,13 @@ class QueueChecker:
 
     def sweep(self, san, sim) -> None:
         now = self.queue.now
-        for event in self.queue._heap:
-            if not event.cancelled and event.time < now:
+        for entry in self.queue._heap:
+            if entry[E_CALLBACK] is not None and entry[E_TIME] < now:
                 san.violation(
                     "queue.past_event",
                     "pending event is scheduled before the current time",
-                    {"event_time": event.time, "now": now,
-                     "priority": event.priority},
+                    {"event_time": entry[E_TIME], "now": now,
+                     "priority": entry[E_PRIO]},
                 )
 
     # -- injection ------------------------------------------------------ #
@@ -79,7 +84,7 @@ class QueueChecker:
         # bug) would do
         heapq.heappush(
             self.queue._heap,
-            _Event(self.queue.now - 1.0, 0, -1, lambda: None),
+            [self.queue.now - 1.0, 0, -1, lambda: None],
         )
 
     def _inject_watcher_disorder(self) -> None:
@@ -299,6 +304,8 @@ class PartitionChecker:
             policy.configure_occupancy(max(1, policy.num_sets // 2))
         if policy._bounds:
             policy._bounds[0] = 1  # set 0 no longer owned by any slot
+            # propagate into the per-slot cache sets_for serves from
+            policy._rebuild_slot_cache()
 
     def _inject_flag_range(self) -> None:
         sharing = self.tlb.sharing

@@ -40,6 +40,8 @@ class SharedTranslationService:
         port_interval: float = 1.0,
     ) -> None:
         self.sim = sim
+        # completion events are never cancelled: handle-less scheduling
+        self._post = sim.queue.post
         self.l2_tlb = l2_tlb
         self.walkers = walkers
         self.stats = stats if stats is not None else sim.stats.group("l2_translation")
@@ -66,7 +68,7 @@ class SharedTranslationService:
         result = self.l2_tlb.probe(vpn)
         if result.hit:
             ppn = result.ppn
-            self.sim.schedule(lookup_done, lambda: callback(ppn, "l2"))
+            self._post(lookup_done, lambda: callback(ppn, "l2"))
             return
         waiting = self._pending.get(vpn)
         if waiting is not None:
@@ -76,7 +78,7 @@ class SharedTranslationService:
             return
         self._pending[vpn] = [callback]
         walk_done, ppn = self.walkers.walk(vpn, lookup_done)
-        self.sim.schedule(walk_done, lambda: self._finish_walk(vpn, ppn))
+        self._post(walk_done, lambda: self._finish_walk(vpn, ppn))
 
     def _finish_walk(self, vpn: int, ppn: int) -> None:
         # Fill the shared L2 TLB (Fig 1 step 5), then wake every waiter.

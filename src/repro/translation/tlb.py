@@ -30,7 +30,7 @@ from ..engine.stats import StatGroup
 from ..telemetry.tracer import CAT_TLB
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBProbeResult:
     """Outcome of a TLB probe."""
 
@@ -66,9 +66,23 @@ class VPNIndexPolicy(IndexPolicy):
             raise ValueError(f"granularity must be positive, got {granularity}")
         self.num_sets = num_sets
         self.granularity = granularity
+        # one interned 1-tuple per set: lookup_sets indexes instead of
+        # allocating a fresh tuple per probe (the allocation showed up
+        # in the probe profile at fig2 rates)
+        self._set_tuples = tuple((i,) for i in range(num_sets))
+        # power-of-two geometry (the common config) turns the div/mod
+        # into shift/mask; VPNs are non-negative so they agree exactly
+        if num_sets & (num_sets - 1) == 0 and granularity & (granularity - 1) == 0:
+            self._shift = granularity.bit_length() - 1
+            self._mask = num_sets - 1
+        else:
+            self._shift = None
+            self._mask = 0
 
     def lookup_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
-        return ((vpn // self.granularity) % self.num_sets,)
+        if self._shift is not None:
+            return self._set_tuples[(vpn >> self._shift) & self._mask]
+        return self._set_tuples[(vpn // self.granularity) % self.num_sets]
 
     def insert_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
         return self.lookup_sets(vpn, tb_id)
@@ -113,6 +127,11 @@ class SetAssociativeTLB:
         self._tracer = None
         self._clock = None
         self._track = 0
+        # probe() may inline the per-set dict operations only when the
+        # storage hooks are not overridden (the compressed TLB replaces
+        # them); resolved once here instead of per probe
+        self._plain_storage = type(self)._probe_set is SetAssociativeTLB._probe_set
+        self._lookup_sets = self.policy.lookup_sets
 
     # ------------------------------------------------------------------ #
     # Telemetry
@@ -191,21 +210,42 @@ class SetAssociativeTLB:
         """Probe for ``vpn``; updates LRU and hit/miss statistics."""
         probed = 0
         tracer = self._tracer
+        if tracer is None and self._plain_storage:
+            # hottest loop in the model: _probe_set inlined (safe — the
+            # hooks are at their base implementations, checked at init)
+            sets = self.sets
+            for set_idx in self._lookup_sets(vpn, tb_id):
+                probed += 1
+                entry_set = sets[set_idx]
+                ppn = entry_set.get(vpn)
+                if ppn is not None:
+                    entry_set.move_to_end(vpn)
+                    self._hits.value += 1
+                    self._sets_probed.value += probed
+                    return TLBProbeResult(True, ppn, probed)
+            if probed < 1:
+                probed = 1
+            self._misses.value += 1
+            self._sets_probed.value += probed
+            return TLBProbeResult(False, None, probed)
         for set_idx in self.policy.lookup_sets(vpn, tb_id):
             probed += 1
             ppn = self._probe_set(set_idx, vpn)
             if ppn is not None:
-                self._hits.inc()
-                self._sets_probed.inc(probed)
+                # bump the counters in place: Counter.inc is a call per
+                # probe and this is the hottest loop in the model
+                self._hits.value += 1
+                self._sets_probed.value += probed
                 if tracer is not None:
                     tracer.instant(
                         CAT_TLB, "hit", self._clock(), self._track,
                         {"vpn": vpn, "tb": tb_id, "set": set_idx},
                     )
                 return TLBProbeResult(True, ppn, probed)
-        probed = max(probed, 1)
-        self._misses.inc()
-        self._sets_probed.inc(probed)
+        if probed < 1:
+            probed = 1
+        self._misses.value += 1
+        self._sets_probed.value += probed
         if tracer is not None:
             tracer.instant(
                 CAT_TLB, "miss", self._clock(), self._track,

@@ -4,7 +4,28 @@ Simulation tests default to the ``micro`` workload scale so the whole
 suite stays fast; experiment-level shape tests live in benchmarks/.
 """
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    # CI runs property tests derandomized (fixed example stream) so a
+    # red bench-smoke job is reproducible locally; select with
+    # REPRO_HYPOTHESIS_PROFILE=ci
+    _hyp_settings.register_profile(
+        "ci",
+        max_examples=30,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=list(HealthCheck),
+    )
+    _profile = os.environ.get("REPRO_HYPOTHESIS_PROFILE")
+    if _profile:
+        _hyp_settings.load_profile(_profile)
+except ImportError:  # pragma: no cover - hypothesis is present in CI
+    pass
 
 from repro import BASELINE_CONFIG
 from repro.arch.kernel import Kernel, MemoryInstruction, TBTrace, WarpTrace

@@ -1,0 +1,154 @@
+"""Unit tests for the ``repro bench`` harness (not the wall clocks).
+
+Timing itself is covered by the opt-in perf gate; here we pin the parts
+that must be exactly right regardless of machine speed: percentile
+math, report schema round-trips, baseline comparison semantics, the
+quick-flag mismatch guard, and a CLI smoke run over the cheapest
+benches.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCHES,
+    BenchResult,
+    compare_to_baseline,
+    format_results,
+    load_report,
+    run_benches,
+    write_report,
+)
+from repro.bench.harness import _percentile
+from repro.cli import main as cli_main
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert _percentile([42.0], 50.0) == 42.0
+        assert _percentile([42.0], 95.0) == 42.0
+
+    def test_median_of_odd_count(self):
+        assert _percentile([1.0, 2.0, 9.0], 50.0) == 2.0
+
+    def test_median_interpolates_even_count(self):
+        assert _percentile([1.0, 3.0], 50.0) == 2.0
+
+    def test_p95_interpolates(self):
+        values = [float(i) for i in range(1, 21)]  # 1..20
+        assert _percentile(values, 95.0) == pytest.approx(19.05)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        values.sort()
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 100.0) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _percentile([], 50.0)
+
+
+class TestBenchResult:
+    def test_percentiles_and_throughput(self):
+        r = BenchResult("x", "ops", ops=1000.0, wall=[0.2, 0.1, 0.4])
+        assert r.wall_p50 == 0.2
+        assert r.throughput == pytest.approx(5000.0)
+
+    def test_to_dict_fields(self):
+        r = BenchResult("x", "ops", ops=10.0, wall=[0.5])
+        d = r.to_dict()
+        assert d["trials"] == 1
+        assert d["wall_p50_s"] == 0.5
+        assert d["throughput_per_s"] == 20.0
+
+
+class TestReportRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        results = [BenchResult("a", "ops", 10.0, [0.1, 0.2])]
+        write_report(path, results, trials=2, quick=True, tag="test")
+        payload = load_report(path)
+        assert payload["tag"] == "test"
+        assert payload["quick"] is True
+        assert payload["benches"]["a"]["wall_p50_s"] == pytest.approx(0.15)
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+    def test_compare_to_baseline(self):
+        baseline = {"benches": {"a": {"wall_p50_s": 0.4}}}
+        results = [
+            BenchResult("a", "ops", 10.0, [0.1]),
+            BenchResult("new_bench", "ops", 10.0, [0.1]),
+        ]
+        speedups = compare_to_baseline(results, baseline)
+        assert speedups == {"a": pytest.approx(4.0)}  # new bench skipped
+
+    def test_format_results_marks_missing_baseline(self):
+        results = [BenchResult("only_here", "ops", 10.0, [0.1])]
+        table = format_results(results, speedups={})
+        assert "—" in table
+
+
+class TestRunBenches:
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(ValueError):
+            run_benches(names=["no_such_bench"], trials=1)
+
+    def test_nonpositive_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_benches(trials=0)
+
+    def test_quick_run_of_cheap_benches(self):
+        results = run_benches(
+            names=["resource_pool", "coalescer"], trials=1, quick=True
+        )
+        assert [r.name for r in results] == ["resource_pool", "coalescer"]
+        assert all(r.ops > 0 and len(r.wall) == 1 for r in results)
+
+    def test_registry_is_nonempty_and_named_consistently(self):
+        assert "fig2_cell" in BENCHES
+        for name, spec in BENCHES.items():
+            assert spec.name == name
+
+
+class TestBenchCLI:
+    def test_smoke_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_smoke.json")
+        rc = cli_main([
+            "bench", "--benches", "resource_pool", "--trials", "1",
+            "--quick", "--out", out, "--tag", "smoke",
+        ])
+        assert rc == 0
+        payload = load_report(out)
+        assert payload["quick"] is True
+        assert "resource_pool" in payload["benches"]
+        assert "resource_pool" in capsys.readouterr().out
+
+    def test_quick_flag_mismatch_refused(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_full.json")
+        write_report(
+            baseline,
+            [BenchResult("resource_pool", "ops", 10.0, [0.1])],
+            trials=1, quick=False, tag="full",
+        )
+        rc = cli_main([
+            "bench", "--benches", "resource_pool", "--trials", "1",
+            "--quick", "--baseline", baseline,
+            "--out", str(tmp_path / "BENCH_q.json"),
+        ])
+        assert rc == 2
+        assert "quick" in capsys.readouterr().err
+
+    def test_missing_baseline_refused(self, tmp_path, capsys):
+        rc = cli_main([
+            "bench", "--benches", "resource_pool", "--trials", "1",
+            "--quick", "--baseline", str(tmp_path / "nope.json"),
+            "--out", str(tmp_path / "BENCH_q.json"),
+        ])
+        assert rc == 2

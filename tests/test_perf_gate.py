@@ -1,0 +1,48 @@
+"""Perf-regression gate: current benches vs the recorded baseline.
+
+Wall-clock assertions are inherently machine- and load-dependent, so
+this module is **opt-in**: it only runs with ``REPRO_PERF_GATE=1`` set
+(CI runs it as a separate non-blocking job; see ``bench-smoke`` in
+``.github/workflows/ci.yml``).  The budget is deliberately generous —
+3x the pre-optimization baseline p50 per bench — so it catches
+catastrophic regressions (an accidentally quadratic loop, a dropped
+fast path) without flaking on noisy shared runners.  Precise trajectory
+tracking lives in the committed ``BENCH_*.json`` reports instead.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import compare_to_baseline, load_report, run_benches
+
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "tools", "goldens", "bench_baseline.json"
+)
+
+#: generous multiple of the recorded baseline p50 a bench may take
+BUDGET_FACTOR = 3.0
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PERF_GATE") != "1",
+    reason="wall-clock perf gate is opt-in (set REPRO_PERF_GATE=1)",
+)
+
+
+def test_benches_within_budget_of_baseline():
+    baseline = load_report(BASELINE)
+    # full-size benches (quick=False) — the baseline was recorded full-
+    # size and the harness refuses cross-flag comparisons by design;
+    # few trials keep the gate affordable
+    results = run_benches(trials=3, quick=False)
+    speedups = compare_to_baseline(results, baseline)
+    assert speedups, "baseline report contains none of the current benches"
+    over_budget = {
+        name: f"{1.0 / speedup:.2f}x slower than baseline"
+        for name, speedup in speedups.items()
+        if speedup < 1.0 / BUDGET_FACTOR
+    }
+    assert not over_budget, (
+        f"benches exceeded {BUDGET_FACTOR:.0f}x of the recorded baseline "
+        f"p50: {over_budget}"
+    )

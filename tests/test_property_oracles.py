@@ -1,0 +1,295 @@
+"""Property-based differential tests for the optimized hot paths.
+
+PR 5 rewrote the event queue (pooled list entries, lazy cancellation,
+batched drain) and the TLB index paths (interned set tuples, slot
+caches) for speed.  These tests pin the optimized implementations
+against deliberately naive oracles — a plain ``heapq`` of tuples for
+the event queue, dict+list LRU sets for the TLB, and a re-derivation
+from the paper's partitioning definition for the TB-id slot cache — on
+randomized operation streams, so any semantic drift introduced by a
+future optimization shows up as a counterexample, not as a golden-file
+mystery.
+
+Hypothesis drives the streams when available (it is in CI; see the
+``ci`` profile registered in ``conftest.py``); otherwise a fixed set of
+seeded ``random`` streams keeps the differential coverage alive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.engine.event_queue import EventQueue
+from repro.translation.tlb import SetAssociativeTLB
+from repro.core.partitioned_tlb import TBIDIndexPolicy
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is present in CI
+    HAVE_HYPOTHESIS = False
+
+FALLBACK_SEEDS = range(20)
+
+
+# --------------------------------------------------------------------- #
+# Event queue vs plain-heapq oracle
+# --------------------------------------------------------------------- #
+def run_queue_ops(ops):
+    """Drive an EventQueue and a naive oracle with one op stream.
+
+    Ops: ``("push", delay_quarters, priority)``, ``("cancel", index)``
+    (cancels the index-th handle ever created — including handles whose
+    event already ran or whose pooled entry was recycled, which must be
+    safe no-ops), and ``("pop",)``.
+    """
+    q = EventQueue()
+    ran = []
+    handles = []
+    oracle = []  # heap of (time, priority, seq)
+    status = {}  # seq -> "pending" | "cancelled" | "run"
+    next_seq = 0
+    now = 0.0
+
+    def make_cb(seq):
+        return lambda: ran.append(seq)
+
+    for op in ops:
+        if op[0] == "push":
+            t = now + op[1] * 0.25
+            seq = next_seq
+            next_seq += 1
+            handles.append((q.schedule(t, make_cb(seq), op[2]), seq))
+            heapq.heappush(oracle, (t, op[2], seq))
+            status[seq] = "pending"
+        elif op[0] == "cancel":
+            if handles:
+                handle, seq = handles[op[1] % len(handles)]
+                handle.cancel()
+                if status[seq] == "pending":
+                    status[seq] = "cancelled"
+                # run/recycled: the generation tag must make this a no-op
+        else:  # pop
+            while oracle and status[oracle[0][2]] != "pending":
+                heapq.heappop(oracle)
+            if not oracle:
+                assert q.pop_and_run() is False
+            else:
+                t, _prio, seq = heapq.heappop(oracle)
+                n_before = len(ran)
+                assert q.pop_and_run() is True
+                assert len(ran) == n_before + 1, "exactly one callback ran"
+                assert ran[-1] == seq, "pop order diverged from oracle"
+                assert q.now == t
+                status[seq] = "run"
+                now = t
+        live = sum(1 for s in status.values() if s == "pending")
+        assert len(q) == live
+    # drain the rest: the full remaining order must match the oracle
+    expected_tail = []
+    while oracle:
+        t, _prio, seq = heapq.heappop(oracle)
+        if status[seq] == "pending":
+            expected_tail.append(seq)
+            status[seq] = "run"
+    drained = []
+    mark = len(ran)
+    while q.pop_and_run():
+        drained.append(ran[-1])
+    assert ran[mark:] == expected_tail
+    assert drained == expected_tail
+    assert len(q) == 0
+
+
+def _random_queue_ops(rng: random.Random, n: int = 150):
+    ops = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.5:
+            ops.append(("push", rng.randrange(0, 12), rng.randrange(-1, 2)))
+        elif r < 0.7:
+            ops.append(("cancel", rng.randrange(0, 256)))
+        else:
+            ops.append(("pop",))
+    return ops
+
+
+if HAVE_HYPOTHESIS:
+    queue_ops = st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("push"),
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=-1, max_value=1),
+            ),
+            st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=255)),
+            st.tuples(st.just("pop")),
+        ),
+        max_size=150,
+    )
+
+    @given(queue_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_event_queue_matches_heapq_oracle(ops):
+        run_queue_ops(ops)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_event_queue_matches_heapq_oracle(seed):
+        run_queue_ops(_random_queue_ops(random.Random(seed)))
+
+
+# --------------------------------------------------------------------- #
+# Set-associative TLB vs dict+list LRU oracle
+# --------------------------------------------------------------------- #
+def run_tlb_ops(num_sets, assoc, ops):
+    """Drive the optimized TLB and a list-based LRU oracle in lockstep.
+
+    Ops: ``("probe", vpn)`` / ``("insert", vpn)``; the PPN is a fixed
+    function of the VPN so refreshes are observable.
+    """
+    tlb = SetAssociativeTLB(num_sets * assoc, assoc, lookup_latency=1.0)
+    oracle = [[] for _ in range(num_sets)]  # each: [[vpn, ppn], ...] LRU-first
+    hits = misses = evictions = 0
+    for kind, vpn in ops:
+        entries = oracle[vpn % num_sets]
+        found = next((e for e in entries if e[0] == vpn), None)
+        if kind == "probe":
+            result = tlb.probe(vpn)
+            assert result.sets_probed == 1
+            if found is not None:
+                hits += 1
+                assert result.hit and result.ppn == found[1]
+                entries.remove(found)
+                entries.append(found)
+            else:
+                misses += 1
+                assert not result.hit and result.ppn is None
+        else:
+            ppn = vpn * 7 + 3
+            evicted = tlb.insert(vpn, ppn)
+            if found is not None:
+                found[1] = ppn
+                entries.remove(found)
+                entries.append(found)
+                assert evicted is None
+            else:
+                if len(entries) >= assoc:
+                    victim = entries.pop(0)
+                    evictions += 1
+                    assert evicted == victim[0]
+                else:
+                    assert evicted is None
+                entries.append([vpn, ppn])
+    assert tlb.stats.counter("hits").value == hits
+    assert tlb.stats.counter("misses").value == misses
+    assert tlb.stats.counter("evictions").value == evictions
+    for set_idx in range(num_sets):
+        stored = [[vpn, ppn] for vpn, ppn in tlb.sets[set_idx].items()]
+        assert stored == oracle[set_idx], f"set {set_idx} diverged (LRU order)"
+
+
+def _random_tlb_ops(rng: random.Random, n: int = 200):
+    # small VPN space so sets fill, evict, and refresh frequently
+    return [
+        (("probe", "insert")[rng.randrange(2)], rng.randrange(0, 64))
+        for _ in range(n)
+    ]
+
+
+if HAVE_HYPOTHESIS:
+    tlb_ops = st.lists(
+        st.tuples(
+            st.sampled_from(["probe", "insert"]),
+            st.integers(min_value=0, max_value=63),
+        ),
+        max_size=200,
+    )
+
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.sampled_from([1, 2, 4]),
+        tlb_ops,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tlb_matches_lru_oracle(num_sets, assoc, ops):
+        run_tlb_ops(num_sets, assoc, ops)
+
+else:  # pragma: no cover
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_tlb_matches_lru_oracle(seed):
+        rng = random.Random(seed)
+        num_sets = rng.choice([1, 2, 4, 8])
+        assoc = rng.choice([1, 2, 4])
+        run_tlb_ops(num_sets, assoc, _random_tlb_ops(rng))
+
+
+# --------------------------------------------------------------------- #
+# TB-id slot cache vs the paper's partitioning definition
+# --------------------------------------------------------------------- #
+def check_tbid_policy(num_sets, occupancy, tb_id, vpn):
+    """The precomputed slot cache must agree with §IV-B recomputed fresh:
+    TB ``i`` owns sets ``[i*S//T, (i+1)*S//T)``; when ``T >= S`` each
+    TB-id residue maps to one shared set."""
+    policy = TBIDIndexPolicy(num_sets, occupancy=occupancy)
+    if occupancy >= num_sets:
+        expected_own = [tb_id % num_sets]
+    else:
+        bounds = [(i * num_sets) // occupancy for i in range(occupancy + 1)]
+        slot = tb_id % occupancy
+        expected_own = list(range(bounds[slot], bounds[slot + 1]))
+    assert list(policy.sets_for(tb_id)) == expected_own
+    assert list(policy.lookup_sets(vpn, tb_id)) == expected_own
+    residue = (vpn // policy.granularity) % len(expected_own)
+    preferred = expected_own[residue]
+    assert list(policy.insert_sets(vpn, tb_id)) == (
+        [preferred] + [s for s in expected_own if s != preferred]
+    )
+    if occupancy < num_sets:
+        # every set owned by exactly one slot (no gaps, no overlap)
+        owned = [s for slot in range(occupancy) for s in policy.sets_for(slot)]
+        assert sorted(owned) == list(range(num_sets))
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=48),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_tbid_slot_cache_matches_definition(num_sets, occupancy, tb_id, vpn):
+        check_tbid_policy(num_sets, occupancy, tb_id, vpn)
+
+else:  # pragma: no cover
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_tbid_slot_cache_matches_definition(seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            check_tbid_policy(
+                rng.randrange(1, 33),
+                rng.randrange(1, 49),
+                rng.randrange(0, 64),
+                rng.randrange(0, 1 << 20),
+            )
+
+
+def test_tbid_policy_rejects_missing_or_negative_tb():
+    policy = TBIDIndexPolicy(8, occupancy=4)
+    with pytest.raises(ValueError):
+        policy.lookup_sets(0, None)
+    with pytest.raises(ValueError):
+        policy.lookup_sets(0, -1)
+    with pytest.raises(ValueError):
+        policy.insert_sets(0, -3)
+    with pytest.raises(ValueError):
+        policy.sets_for(-1)

@@ -76,3 +76,31 @@ def test_partitioned_occupancy_never_leaks_between_tbs(vpns, occupancy):
         run_stream(fresh, vpns, tb_id=0)
         for vpn in set(vpns):
             assert not fresh.contains(vpn, tb_id=1 % occupancy) or occupancy == 1
+
+
+def test_parallel_sweep_digest_matches_sequential():
+    """Fixed-seed full-simulation digest: a sweep fanned out over
+    parallel supervised workers must produce byte-identical per-cell
+    stats JSON to the same sweep run sequentially in-process — the
+    end-to-end determinism contract the parallel runner promises."""
+    import json
+
+    from repro.experiments.runner import ExperimentRunner
+
+    cells = [
+        ("bfs", "baseline"),
+        ("bfs", "partition"),
+        ("bfs", "partition_sharing"),
+    ]
+
+    def digest(parallel):
+        runner = ExperimentRunner(scale="micro", seed=0, parallel=parallel)
+        runner.prefetch(cells)
+        return {
+            f"{bench}:{cfg}": json.dumps(
+                runner.run(bench, cfg).to_dict(), sort_keys=True
+            )
+            for bench, cfg in cells
+        }
+
+    assert digest(1) == digest(3)
