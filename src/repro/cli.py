@@ -16,9 +16,16 @@ Commands:
   high watermark);
 * ``serve`` — run the WAL-journaled worker pool until the queue is
   idle; SIGINT/SIGTERM drains leases, flushes telemetry, and journals
-  a clean shutdown; ``kill -9`` + restart recovers losslessly;
+  a clean shutdown; ``kill -9`` + restart recovers losslessly.
+  ``serve --daemon`` keeps serving a Unix-domain socket for multiple
+  concurrent clients (length-prefixed JSON protocol, see
+  :mod:`repro.service.protocol`), with priorities, per-request
+  deadlines, idempotent retries, and a content-addressed result cache;
 * ``status`` — queue depths, breaker states, lease ages, backpressure
-  (``--check-goldens`` gates recovered results against a golden file).
+  (``--check-goldens`` gates recovered results against a golden file;
+  ``--daemon`` asks a live daemon instead of replaying the journal);
+* ``cancel`` / ``wait`` — cancel one job / block until a job is
+  terminal, through a live daemon.
 
 Every simulating command (``run``, ``compare``, ``report``) accepts the
 same execution-resilience flags (``--timeout``, ``--checkpoint``,
@@ -31,8 +38,9 @@ is written next to every trace and checkpoint.
 Failure contract (see DESIGN.md "Failure modes & recovery"): every
 taxonomy error exits with a class-specific nonzero code (config=3,
 workload=4, livelock=5, timeout=6, worker crash=7, checkpoint=8,
-sanitizer=9, quarantined=10, admission=11, journal=12, interrupted=13)
-and prints a single machine-readable JSON line on stderr, e.g.::
+sanitizer=9, quarantined=10, admission=11, journal=12, interrupted=13,
+protocol=14, deadline=15, cancelled=16) and prints a single
+machine-readable JSON line on stderr, e.g.::
 
     {"error": "livelock", "message": "...", "exit_code": 5}
 
@@ -453,7 +461,43 @@ def _make_service(args: argparse.Namespace):
     )
 
 
+def _make_client(args: argparse.Namespace):
+    """Build a DaemonClient from CLI flags (daemon paths only)."""
+    from .service import DaemonClient
+
+    return DaemonClient(
+        _service_dir(args),
+        socket_path=getattr(args, "socket", None),
+        timeout=getattr(args, "client_timeout", 10.0),
+    )
+
+
+def _submit_via_daemon(args: argparse.Namespace) -> int:
+    with _make_client(args) as client:
+        for benchmark in args.benchmarks:
+            for name in args.configs:
+                response = client.submit(
+                    benchmark,
+                    name,
+                    priority=getattr(args, "priority", 0),
+                    deadline=getattr(args, "deadline", None),
+                )
+                source = " (cached)" if response.get("cached") else ""
+                print(f"submitted        {response['job_id']} "
+                      f"[{response['state'].lower()}]{source}")
+                if args.wait and not response.get("cached"):
+                    done = client.wait(job_id=response["job_id"])
+                    print(f"done             {done['job_id']} "
+                          f"cycles={done['result'].get('cycles'):.0f}")
+        depths = client.status()["depths"]
+        print("queue            "
+              + " ".join(f"{s.lower()}={n}" for s, n in depths.items()))
+    return 0
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
+    if args.daemon:
+        return _submit_via_daemon(args)
     service = _make_service(args)
     shed: Optional[AdmissionError] = None
     try:
@@ -461,7 +505,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         for benchmark in args.benchmarks:
             for name in args.configs:
                 try:
-                    job = service.submit(benchmark, name)
+                    job = service.submit(
+                        benchmark,
+                        name,
+                        priority=getattr(args, "priority", 0),
+                        deadline=getattr(args, "deadline", None),
+                    )
                 except AdmissionError as exc:
                     print(f"shed             {benchmark}:{name} "
                           f"({exc})", file=sys.stderr)
@@ -489,7 +538,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # each job, so the in-flight lease is honoured and the shutdown
         # record is journaled on the normal path
         with GracefulInterrupt(raising=False) as interrupt:
-            depths = service.run(interrupt)
+            if args.daemon:
+                from .service import SweepDaemon
+
+                daemon = SweepDaemon(
+                    service,
+                    socket_path=getattr(args, "socket", None),
+                    client_ttl=getattr(args, "client_ttl", 30.0),
+                )
+                print(f"listening        {daemon.socket_path}", flush=True)
+                depths = daemon.serve_forever(interrupt)
+            else:
+                depths = service.run(interrupt)
             drained = interrupt.requested
         print("queue            "
               + " ".join(f"{s.lower()}={n}" for s, n in depths.items()))
@@ -505,17 +565,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cancel(args: argparse.Namespace) -> int:
+    with _make_client(args) as client:
+        response = client.cancel(args.job_id)
+        print(f"cancel           {response['job_id']} "
+              f"[{response['state'].lower()}]")
+    return 0
+
+
+def cmd_wait(args: argparse.Namespace) -> int:
+    with _make_client(args) as client:
+        response = client.wait(
+            job_id=args.job_id, deadline=args.deadline
+        )
+        result = response.get("result", {})
+        source = " (cached)" if response.get("cached") else ""
+        print(f"done             {response['job_id']}{source} "
+              f"cycles={result.get('cycles'):.0f}")
+    return 0
+
+
 def cmd_status(args: argparse.Namespace) -> int:
     import os
 
+    from .engine.errors import JournalError
     from .service import JOURNAL_NAME, Journal, SweepService
 
+    if getattr(args, "daemon", False):
+        with _make_client(args) as client:
+            stats = client.stats()
+        print(f"service          {_service_dir(args)} (live daemon)")
+        depths = stats["depths"]
+        print("queue            "
+              + " ".join(f"{s.lower()}={n}" for s, n in depths.items()))
+        print("counters         " + " ".join(
+            f"{k}={v}" for k, v in stats["counters"].items()
+        ))
+        cache = stats["cache"]
+        print("result cache     " + " ".join(
+            f"{k}={v}" for k, v in cache.items()
+        ))
+        print(f"clients          {stats['clients']} connected, "
+              f"{stats['evicted']} evicted, "
+              f"{stats['rejected_frames']} rejected frame(s), "
+              f"{stats['requests_served']} request(s) served")
+        return 0
     directory = _service_dir(args)
     journal_path = os.path.join(directory, JOURNAL_NAME)
     header = Journal.peek_header(journal_path)
     if header is None:
-        print(f"no service journal at {journal_path}", file=sys.stderr)
-        return 1
+        # a missing or unreadably-corrupt journal is a journal-class
+        # failure: one diagnostic line on stderr, exit 12 — never a
+        # traceback (the torn-tail case is tolerated inside replay())
+        detail = (
+            "no journal found"
+            if not os.path.exists(journal_path)
+            else "journal header unreadable or corrupt"
+        )
+        raise JournalError(f"{journal_path}: {detail}")
     # bind to the journal's own identity: status must never replay a
     # journal under a different (scale, seed) than it was written with
     service = SweepService(
@@ -535,6 +642,25 @@ def cmd_status(args: argparse.Namespace) -> int:
             print(f"[{mark}] goldens: {line}")
         return 0 if passed else 1
     return 0
+
+
+def _add_daemon_group(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("daemon")
+    group.add_argument(
+        "--daemon", action="store_true",
+        help="talk to (or, for serve, run) a multi-client daemon over "
+             "a Unix-domain socket instead of the single-shot path",
+    )
+    group.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="socket path (default: <service-dir>/daemon.sock)",
+    )
+    group.add_argument(
+        "--client-timeout", type=float, default=10.0,
+        dest="client_timeout", metavar="SECONDS",
+        help="per-request socket timeout before the client reconnects "
+             "and retries (idempotent by key)",
+    )
 
 
 def _add_service_group(
@@ -693,7 +819,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sub.add_argument("--scale", default="small", choices=sorted(SCALES))
     p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument(
+        "--priority", type=int, default=0,
+        help="scheduling priority (higher runs first; a strictly "
+             "higher-priority job preempts a running lower one)",
+    )
+    p_sub.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; past it the job fails with "
+             "FAILED(deadline) instead of being silently kept",
+    )
     _add_service_group(p_sub)
+    _add_daemon_group(p_sub)
+    p_sub.add_argument(
+        "--wait", action="store_true",
+        help="with --daemon: block until each submitted job is terminal",
+    )
     p_sub.set_defaults(func=cmd_submit)
 
     p_srv = sub.add_parser(
@@ -749,6 +890,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="denied jobs before an open breaker half-opens for a probe",
     )
     _add_service_group(p_srv)
+    _add_daemon_group(p_srv)
+    p_srv.add_argument(
+        "--client-ttl", type=float, default=30.0, dest="client_ttl",
+        metavar="SECONDS",
+        help="with --daemon: evict clients idle past this TTL "
+             "(heartbeat loss)",
+    )
     p_srv.set_defaults(func=cmd_serve)
 
     p_st = sub.add_parser(
@@ -766,7 +914,31 @@ def build_parser() -> argparse.ArgumentParser:
              "(exit 1 on mismatch)",
     )
     _add_service_group(p_st, admission=False)
+    _add_daemon_group(p_st)
     p_st.set_defaults(func=cmd_status)
+
+    p_can = sub.add_parser(
+        "cancel", help="cancel one job through a live daemon"
+    )
+    p_can.add_argument("job_id", help="job id (benchmark:config)")
+    p_can.add_argument("--scale", default="small", choices=sorted(SCALES))
+    _add_service_group(p_can, admission=False)
+    _add_daemon_group(p_can)
+    p_can.set_defaults(func=cmd_cancel)
+
+    p_wait = sub.add_parser(
+        "wait", help="block until a job is terminal (live daemon)"
+    )
+    p_wait.add_argument("job_id", help="job id (benchmark:config)")
+    p_wait.add_argument("--scale", default="small", choices=sorted(SCALES))
+    p_wait.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (exit 15; the job keeps "
+             "running server-side)",
+    )
+    _add_service_group(p_wait, admission=False)
+    _add_daemon_group(p_wait)
+    p_wait.set_defaults(func=cmd_wait)
 
     p_list = sub.add_parser("list", help="list benchmarks/configs/scales")
     p_list.set_defaults(func=cmd_list)

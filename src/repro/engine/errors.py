@@ -147,6 +147,33 @@ class InterruptedRunError(SimulationError):
     exit_code = 13
 
 
+class ProtocolError(SimulationError):
+    """A daemon socket frame was malformed, oversized, or semantically
+    invalid (unknown op, missing field).  The offending request is
+    rejected; the daemon itself stays up (see
+    :mod:`repro.service.protocol`)."""
+
+    error_class = "protocol"
+    exit_code = 14
+
+
+class DeadlineError(SimulationError):
+    """A job blew its per-request deadline: it was preempted mid-cell or
+    refused at lease time, and journaled ``FAILED(deadline)`` — a cell
+    past its deadline is never silently kept running."""
+
+    error_class = "deadline"
+    exit_code = 15
+
+
+class CancelledJobError(SimulationError):
+    """A job was cancelled by a client before it produced a result
+    (``repro cancel``); reports show ``FAILED(cancelled)``."""
+
+    error_class = "cancelled"
+    exit_code = 16
+
+
 #: error_class tag -> exception type (parent-side reconstruction map)
 ERROR_CLASSES: Dict[str, Type[SimulationError]] = {
     cls.error_class: cls
@@ -163,6 +190,9 @@ ERROR_CLASSES: Dict[str, Type[SimulationError]] = {
         AdmissionError,
         JournalError,
         InterruptedRunError,
+        ProtocolError,
+        DeadlineError,
+        CancelledJobError,
     )
 }
 

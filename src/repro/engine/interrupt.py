@@ -27,7 +27,7 @@ import contextlib
 import os
 import signal
 import time
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from .errors import InterruptedRunError
 
@@ -50,10 +50,23 @@ class GracefulInterrupt:
     unwinds at the next bytecode boundary; ``raising=False`` (service
     loops) only sets :attr:`requested`, and the loop is expected to
     check it between jobs.
+
+    ``on_request`` is invoked exactly once, from the signal handler,
+    when the first drain signal lands.  A select/poll-based loop (the
+    socket daemon) passes a wake-up callback here — typically one byte
+    down a self-pipe — so a signal that arrives while the loop is
+    blocked in ``select()`` interrupts the wait instead of languishing
+    until the next timeout.  The callback runs in signal context: it
+    must be async-signal-safe (no locks, no allocation-heavy work).
     """
 
-    def __init__(self, raising: bool = True) -> None:
+    def __init__(
+        self,
+        raising: bool = True,
+        on_request: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.raising = raising
+        self.on_request = on_request
         #: a drain signal has been received
         self.requested = False
         #: the signal number that requested the drain
@@ -89,6 +102,11 @@ class GracefulInterrupt:
         self.requested = True
         self.signum = signum
         self._first_at = time.monotonic()
+        if self.on_request is not None:
+            try:
+                self.on_request()
+            except OSError:
+                pass  # a closed wake-up pipe must not mask the drain
         if self.raising:
             if self._shielded:
                 self._pending_raise = True

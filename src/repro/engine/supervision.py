@@ -297,7 +297,15 @@ class Supervisor:
         proc.start()
         child_conn.close()
         try:
-            if not self._wait_for_report(parent_conn):
+            try:
+                reported = self._wait_for_report(parent_conn)
+            except BaseException:
+                # a heartbeat hook aborting the wait (deadline blown,
+                # preemption, cancel) must not leave the worker running
+                # — and must not stall 5s in the join below either
+                self._kill(proc)
+                raise
+            if not reported:
                 self._kill(proc)
                 raise CellTimeoutError(
                     f"cell ({spec.benchmark}, {spec.config_tag}) exceeded "

@@ -3,7 +3,10 @@
 The durable, self-protecting execution layer behind ``repro serve`` /
 ``repro submit`` / ``repro status`` and ``repro compare --service``.
 See DESIGN.md §9 for the journal format, the job state machine, the
-breaker policy, and recovery semantics.
+breaker policy, and recovery semantics; §11 for the daemon's
+intake/policy/execution layering (:mod:`.server`, :mod:`.policy`,
+:mod:`.pool`), the socket protocol (:mod:`.protocol`), and the
+content-addressed result cache (:mod:`.results`).
 """
 
 from .admission import (
@@ -19,11 +22,28 @@ from .breaker import (
     BreakerPolicy,
     CircuitBreaker,
 )
+from .client import DaemonClient, DaemonUnavailable
 from .invariants import check_service_invariants
 from .journal import JOURNAL_NAME, JOURNAL_VERSION, Journal
 from .leases import Lease, LeaseTable
-from .pool import PIDFILE_NAME, SweepService, job_id_for
+from .policy import PolicyConfig, SchedulingPolicy
+from .pool import (
+    NON_WORKLOAD_FAILURES,
+    PIDFILE_NAME,
+    PreemptRequest,
+    SweepService,
+    job_id_for,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SOCKET_NAME,
+    idempotency_key,
+)
+from .results import RESULTS_DIR, ResultCache
+from .server import SweepDaemon
 from .state import (
+    CANCELLED,
     DONE,
     FAILED,
     JOB_STATES,
@@ -43,8 +63,11 @@ __all__ = [
     "AdmissionPolicy",
     "BREAKER_STATES",
     "BreakerPolicy",
+    "CANCELLED",
     "CircuitBreaker",
     "CLOSED",
+    "DaemonClient",
+    "DaemonUnavailable",
     "DONE",
     "FAILED",
     "HALF_OPEN",
@@ -57,14 +80,25 @@ __all__ = [
     "LEGAL_TRANSITIONS",
     "Lease",
     "LeaseTable",
+    "MAX_FRAME_BYTES",
+    "NON_WORKLOAD_FAILURES",
     "OPEN",
     "PIDFILE_NAME",
+    "PolicyConfig",
+    "PreemptRequest",
+    "PROTOCOL_VERSION",
     "QUARANTINED",
     "QueueState",
+    "RESULTS_DIR",
+    "ResultCache",
     "RUNNING",
+    "SchedulingPolicy",
+    "SOCKET_NAME",
     "SUBMITTED",
+    "SweepDaemon",
     "SweepService",
     "TERMINAL_STATES",
     "check_service_invariants",
+    "idempotency_key",
     "job_id_for",
 ]

@@ -48,6 +48,9 @@ class AdmissionDecision:
 
     admitted: bool
     reason: str = ""
+    #: shed responses carry a deterministic retry hint (seconds) the
+    #: daemon client honors before resubmitting; 0 when admitted
+    retry_after: float = 0.0
 
 
 class AdmissionController:
@@ -65,6 +68,17 @@ class AdmissionController:
             self._backpressure = False
         return self._backpressure
 
+    def retry_after_hint(self, pending_depth: int) -> float:
+        """Deterministic retry-after (seconds) for a shed submission.
+
+        Scales with how far past the low watermark the queue is, so the
+        deeper the backlog, the longer clients stand off — a pure
+        function of depth (no wall clock, no randomness), so equal-load
+        replays hint identically.
+        """
+        excess = max(1, pending_depth - self.policy.low_watermark)
+        return min(60.0, 0.5 * excess)
+
     def decide(self, pending_depth: int) -> AdmissionDecision:
         """Admit or reject one submission at the given pending depth."""
         self.backpressure(pending_depth)
@@ -73,6 +87,7 @@ class AdmissionController:
                 False,
                 f"queue at hard depth cap ({pending_depth} >= "
                 f"max_depth {self.policy.max_depth})",
+                retry_after=self.retry_after_hint(pending_depth),
             )
         if pending_depth >= self.policy.high_watermark:
             return AdmissionDecision(
@@ -80,6 +95,7 @@ class AdmissionController:
                 f"load shed: pending depth {pending_depth} >= high "
                 f"watermark {self.policy.high_watermark} (retry when the "
                 f"queue drains below {self.policy.low_watermark})",
+                retry_after=self.retry_after_hint(pending_depth),
             )
         return AdmissionDecision(True)
 

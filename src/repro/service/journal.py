@@ -123,8 +123,15 @@ class Journal:
         if not self.exists():
             self._seq = None
             return []
-        with open(self.path, "rb") as handle:
-            blob = handle.read()
+        try:
+            with open(self.path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            # an unreadable log (permissions, I/O error) is in the same
+            # trust bucket as a corrupt one: taxonomy error, exit 12
+            raise JournalError(
+                f"{self.path}: journal unreadable: {exc}"
+            ) from exc
         trailing_newline = blob.endswith(b"\n")
         raw_lines = blob.split(b"\n")
         if raw_lines and raw_lines[-1] == b"":

@@ -37,6 +37,10 @@ class Lease:
     last_heartbeat: float
     ttl: float
     heartbeats: int = 0
+    #: absolute wall-clock deadline propagated from the request
+    #: (0 = none); the worker heartbeat checks it so a cell past its
+    #: deadline is preempted, never silently kept running
+    deadline_unix: float = 0.0
 
     def age(self, now: float) -> float:
         return now - self.granted_at
@@ -47,6 +51,9 @@ class Lease:
 
     def expired(self, now: float) -> bool:
         return self.idle(now) > self.ttl
+
+    def past_deadline(self, now_unix: float) -> bool:
+        return bool(self.deadline_unix) and now_unix > self.deadline_unix
 
 
 class LeaseTable:
@@ -67,7 +74,9 @@ class LeaseTable:
     def __contains__(self, job_id: str) -> bool:
         return job_id in self._leases
 
-    def grant(self, job_id: str, owner: str) -> Lease:
+    def grant(
+        self, job_id: str, owner: str, deadline_unix: float = 0.0
+    ) -> Lease:
         if job_id in self._leases:
             raise JournalError(
                 f"job {job_id!r} already leased to "
@@ -80,6 +89,7 @@ class LeaseTable:
             granted_at=now,
             last_heartbeat=now,
             ttl=self.ttl,
+            deadline_unix=deadline_unix,
         )
         self._leases[job_id] = lease
         return lease

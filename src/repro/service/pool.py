@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..engine.errors import (
     AdmissionError,
+    DeadlineError,
     JournalError,
     SimulationError,
     classify,
@@ -46,12 +47,16 @@ from .breaker import BreakerPolicy, CircuitBreaker
 from .invariants import check_service_invariants
 from .journal import JOURNAL_NAME, Journal
 from .leases import LeaseTable
+from .policy import SchedulingPolicy
+from .protocol import idempotency_key as derive_idempotency_key
+from .results import RESULTS_DIR, ResultCache
 from .state import (
     DONE,
     FAILED,
     QUARANTINED,
     RUNNING,
     SUBMITTED,
+    TERMINAL_STATES,
     Job,
     QueueState,
 )
@@ -59,10 +64,43 @@ from .state import (
 #: pidfile guarding one live server per service directory
 PIDFILE_NAME = "serve.pid"
 
+#: failure classes that say nothing about the *workload*'s health —
+#: deadline blows and client cancels must not feed the breaker window
+NON_WORKLOAD_FAILURES = frozenset({"deadline", "cancelled"})
+
 
 def job_id_for(benchmark: str, config_name: str) -> str:
     """Stable job identity: one job per sweep cell."""
     return f"{benchmark}:{config_name}"
+
+
+class PreemptRequest(Exception):
+    """Internal: the heartbeat decided the running cell must yield.
+
+    Raised out of the supervisor's heartbeat hook; the worker is killed
+    on the way out and the pool requeues (or cancels) the cell.  Never
+    a :class:`SimulationError` — preemption is a scheduling decision,
+    not a cell failure.
+    """
+
+    def __init__(self, job_id: str, reason: str) -> None:
+        super().__init__(f"{job_id}: {reason}")
+        self.job_id = job_id
+        self.reason = reason
+
+
+def _proc_starttime(pid: int) -> str:
+    """Kernel start-time ticks of a pid ("" when unavailable).
+
+    Field 22 of ``/proc/<pid>/stat``: together with the pid it names a
+    unique process incarnation, so a recycled PID cannot impersonate a
+    dead server.
+    """
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            return handle.read().rpartition(")")[2].split()[19]
+    except (OSError, IndexError):
+        return ""
 
 
 def _pid_alive(pid: int) -> bool:
@@ -101,6 +139,8 @@ class SweepService:
         compact_after: int = 256,
         registry: Optional[StatRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
+        policy: Optional[SchedulingPolicy] = None,
+        wall_clock: Callable[[], float] = time.time,
     ) -> None:
         self.directory = directory
         self.scale = scale
@@ -128,6 +168,15 @@ class SweepService:
         self.registry = registry if registry is not None else StatRegistry()
         self.stats = self.registry.group("service")
         self.incarnation = f"serve-{os.getpid()}"
+        self.policy = policy if policy is not None else SchedulingPolicy()
+        self.wall_clock = wall_clock
+        self.results = ResultCache(os.path.join(directory, RESULTS_DIR))
+        #: job_ids a client asked to cancel while LEASED/RUNNING; the
+        #: heartbeat preempts them, then the pool journals the cancel
+        self._cancel_requested: "set[str]" = set()
+        #: extra per-heartbeat hook while a cell runs (the daemon pumps
+        #: its socket here so clients stay served mid-cell)
+        self.on_heartbeat: Optional[Callable[[], None]] = None
         self._recovered = False
         #: False while replaying the journal (breaker decisions are
         #: re-derived from the record stream instead of re-decided)
@@ -149,7 +198,7 @@ class SweepService:
         if rtype == "submit":
             self.stats.counter("queued").inc()
         elif rtype in (
-            "shed", "lease", "retry", "done", "fail", "reclaim",
+            "shed", "lease", "retry", "done", "fail", "reclaim", "cancel",
         ):
             name = {
                 "shed": "shed",
@@ -158,14 +207,19 @@ class SweepService:
                 "done": "done",
                 "fail": "failed",
                 "reclaim": "reclaimed",
+                "cancel": "cancelled",
             }[rtype]
             self.stats.counter(name).inc()
         elif rtype == "quarantine":
             self.stats.counter("quarantined").inc()
         # lease table bookkeeping
         if rtype == "lease":
-            self.leases.grant(payload["job_id"], payload["owner"])
-        elif rtype in ("done", "fail", "quarantine", "reclaim"):
+            job = self.state.jobs[payload["job_id"]]
+            self.leases.grant(
+                payload["job_id"], payload["owner"],
+                deadline_unix=job.deadline_unix,
+            )
+        elif rtype in ("done", "fail", "quarantine", "reclaim", "cancel"):
             if payload.get("job_id") in self.leases:
                 self.leases.release(payload["job_id"])
         # breaker bookkeeping (replay rebuilds the exact live state:
@@ -187,10 +241,14 @@ class SweepService:
             job = self.state.jobs[payload["job_id"]]
             self.breaker_for(job.benchmark).allow()
         elif rtype in ("retry", "fail"):
-            job = self.state.jobs[payload["job_id"]]
-            self.breaker_for(job.benchmark).record_failure(
-                payload["error_class"]
-            )
+            # deadline blows and cancels are request-level outcomes, not
+            # workload pathology: they never feed the breaker window
+            # (same rule live and on replay, so state cannot drift)
+            if payload["error_class"] not in NON_WORKLOAD_FAILURES:
+                job = self.state.jobs[payload["job_id"]]
+                self.breaker_for(job.benchmark).record_failure(
+                    payload["error_class"]
+                )
         elif rtype == "done":
             job = self.state.jobs[payload["job_id"]]
             self.breaker_for(job.benchmark).record_success()
@@ -233,11 +291,28 @@ class SweepService:
     # ------------------------------------------------------------------ #
     # Submission (admission-controlled)
     # ------------------------------------------------------------------ #
-    def submit(self, benchmark: str, config_name: str) -> Job:
-        """Enqueue one sweep cell; idempotent per (benchmark, config).
+    def submit(
+        self,
+        benchmark: str,
+        config_name: str,
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Job:
+        """Enqueue one sweep cell; idempotent per (benchmark, config)
+        *and* per content-derived idempotency key.
+
+        ``deadline`` is relative seconds from now; the job carries the
+        absolute wall-clock deadline from here on (client → queue →
+        worker lease).  A submission whose idempotency key matches a
+        known job — in flight or finished — joins that job instead of
+        duplicating it, which is what makes a timed-out-and-retried
+        client request safe.
 
         Raises :class:`AdmissionError` when the queue refuses the job
-        (the refusal itself is journaled as a ``shed`` record).
+        (the refusal itself is journaled as a ``shed`` record and the
+        error carries the admission controller's ``retry_after`` hint).
         """
         from ..experiments.configs import get_config
 
@@ -246,6 +321,14 @@ class SweepService:
         existing = self.state.jobs.get(job_id)
         if existing is not None:
             return existing  # resubmission of a known cell is a no-op
+        current_hash = config_hash(get_config(config_name))
+        key = idempotency_key or derive_idempotency_key(
+            benchmark, current_hash, self.scale, self.seed
+        )
+        joined_id = self.state.by_key.get(key)
+        if joined_id is not None:
+            # identical content under another config name: join it
+            return self.state.jobs[joined_id]
         decision = self.admission.decide(self.state.pending_depth())
         if not decision.admitted:
             self._journal(
@@ -257,19 +340,51 @@ class SweepService:
                     "reason": decision.reason,
                 },
             )
-            raise AdmissionError(
+            exc = AdmissionError(
                 f"job {job_id!r} refused: {decision.reason}"
             )
+            exc.retry_after = decision.retry_after
+            raise exc
         job = Job(
             job_id=job_id,
             benchmark=benchmark,
             config_name=config_name,
             scale=self.scale,
             seed=self.seed,
-            config_hash=config_hash(get_config(config_name)),
+            config_hash=current_hash,
+            priority=priority,
+            deadline_unix=(
+                self.wall_clock() + deadline if deadline else 0.0
+            ),
+            idempotency_key=key,
         )
         self._journal("submit", {"job": job.to_payload()})
         return self.state.jobs[job_id]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel one job: pending jobs cancel immediately; a running
+        job is flagged and preempted at the next heartbeat, then
+        journaled CANCELLED.  Terminal jobs are left untouched (the
+        cancel lost the race — the caller sees the terminal state).
+        """
+        self._require_recovered()
+        job = self.state.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if job.state in TERMINAL_STATES:
+            return job
+        if job.state == SUBMITTED:
+            self._journal(
+                "cancel",
+                {"job_id": job_id, "message": "cancelled by client"},
+            )
+        else:  # LEASED/RUNNING: the heartbeat will preempt it
+            self._cancel_requested.add(job_id)
+        return self.state.jobs[job_id]
+
+    def cached_result(self, key: str) -> Optional[Dict[str, Any]]:
+        """Content-addressed lookup: a validated cache entry or None."""
+        return self.results.get(key)
 
     # ------------------------------------------------------------------ #
     # The pool loop
@@ -296,16 +411,65 @@ class SweepService:
                 },
             )
             while not (interrupt is not None and interrupt.requested):
-                pending = self.state.pending()
-                if not pending:
+                job = self.next_job()
+                if job is None:
                     break
-                self._run_job(pending[0])
+                self._run_job(job)
                 if self.sanitize:
                     check_service_invariants(self.state, self.leases)
             self._shutdown(interrupt)
         finally:
             self._release_pidfile()
         return self.state.depths()
+
+    def next_job(self) -> Optional[Job]:
+        """Scheduling-policy front door: expire, then pick.
+
+        Journals ``FAILED(deadline)`` for every pending job already
+        past its deadline (dead on arrival — it must never consume a
+        worker), then returns the policy's choice among the survivors.
+        """
+        now = self.wall_clock()
+        for job in self.policy.expired(self.state, now):
+            self._fail_deadline(job)
+        return self.policy.pick_next(self.state, now)
+
+    def _fail_deadline(self, job: Job) -> None:
+        overdue = self.wall_clock() - job.deadline_unix
+        self._journal(
+            "fail",
+            {
+                "job_id": job.job_id,
+                "error_class": "deadline",
+                "message": (
+                    f"deadline expired {overdue:.1f}s before the cell "
+                    f"could run"
+                ),
+                "attempts": job.attempts,
+            },
+        )
+
+    def compact_now(self, force: bool = False) -> bool:
+        """Snapshot-compact the journal immediately, when safe.
+
+        Refuses (returns False) while any lease is outstanding: the
+        snapshot would freeze a LEASED/RUNNING job whose in-memory
+        lease cannot be rebuilt from the snapshot alone, desyncing the
+        lease table from the journal.  Without ``force`` it also waits
+        for the log to reach ``compact_after`` records.
+        """
+        if len(self.leases):
+            return False
+        if self.journal.seq is None:
+            return False
+        if not force and self.journal.seq < self.compact_after:
+            return False
+        self.journal.compact(
+            self.state.snapshot_payload(
+                {w: b.to_payload() for w, b in self.breakers.items()}
+            )
+        )
+        return True
 
     def _shutdown(self, interrupt: Optional[GracefulInterrupt]) -> None:
         """Journal a clean shutdown; compact when the log has grown."""
@@ -324,22 +488,15 @@ class SweepService:
                     "pending": len(self.state.pending()),
                 },
             )
-            if self.journal.seq is not None and (
-                self.journal.seq >= self.compact_after
-            ):
-                self.journal.compact(
-                    self.state.snapshot_payload(
-                        {
-                            w: b.to_payload()
-                            for w, b in self.breakers.items()
-                        }
-                    )
-                )
+            self.compact_now()
             self.write_manifest()
 
     def _run_job(self, job: Job) -> None:
         from ..experiments.configs import get_config
 
+        if job.past_deadline(self.wall_clock()):
+            self._fail_deadline(job)
+            return
         breaker = self.breaker_for(job.benchmark)
         allowed, note = breaker.allow()
         if not allowed:
@@ -383,11 +540,23 @@ class SweepService:
             if probe  # a half-open probe gets no retry budget
             else self.retry
         )
+        # the deadline caps the worker's wall-clock budget.  The
+        # heartbeat enforces the *precise* deadline (journaling an
+        # honest FAILED(deadline)); the watchdog runs with one slack
+        # heartbeat interval on top as a backstop for stalled
+        # heartbeats — without the slack the two would race and a blown
+        # deadline could surface as a retried transient timeout instead
+        timeout = self.timeout
+        if job.deadline_unix:
+            remaining = max(0.05, job.deadline_unix - self.wall_clock())
+            capped = remaining + 2.0
+            timeout = capped if timeout is None else min(timeout, capped)
+        started_wall = self.wall_clock()
         supervisor = Supervisor(
-            timeout=self.timeout,
+            timeout=timeout,
             retry=retry,
             fault_plan=self.fault_plan,
-            heartbeat=lambda: self.leases.heartbeat(job.job_id),
+            heartbeat=lambda: self._heartbeat(job, started_wall),
             on_retry=lambda attempt, exc: self._journal(
                 "retry",
                 {
@@ -407,6 +576,24 @@ class SweepService:
         )
         try:
             result = supervisor.run_cell(spec)
+        except PreemptRequest as request:
+            # preemption-safe requeue: the same journaled arrow crash
+            # recovery uses, attempts preserved — then the cancel, if
+            # that is what triggered the preemption
+            self._journal(
+                "reclaim",
+                {"job_id": job.job_id, "reason": request.reason},
+            )
+            if request.reason == "cancel":
+                self._cancel_requested.discard(job.job_id)
+                self._journal(
+                    "cancel",
+                    {
+                        "job_id": job.job_id,
+                        "message": "cancelled while running",
+                    },
+                )
+            return
         except SimulationError as exc:
             self._journal(
                 "fail",
@@ -426,7 +613,50 @@ class SweepService:
                 "attempts": job.attempts + 1,
             },
         )
-        self._write_job_manifest(self.state.jobs[job.job_id])
+        done = self.state.jobs[job.job_id]
+        if done.idempotency_key:
+            self.results.put(
+                done.idempotency_key,
+                done.result,
+                job_id=done.job_id,
+                benchmark=done.benchmark,
+                config_name=done.config_name,
+                config_hash=done.config_hash,
+                scale=self.scale,
+                seed=self.seed,
+            )
+        self._write_job_manifest(done)
+
+    def _heartbeat(self, job: Job, started_wall: float) -> None:
+        """Per-slice liveness hook while ``job``'s worker runs.
+
+        Renews the lease, pumps the daemon (when attached), and decides
+        whether the cell must yield: a blown deadline raises
+        :class:`DeadlineError` (the supervisor kills the worker and the
+        pool journals ``FAILED(deadline)``), a pending cancel or a
+        strictly-higher-priority job raises :class:`PreemptRequest`
+        (requeue, attempts preserved).
+        """
+        self.leases.heartbeat(job.job_id)
+        if self.on_heartbeat is not None:
+            self.on_heartbeat()
+        now = self.wall_clock()
+        if job.job_id in self._cancel_requested:
+            raise PreemptRequest(job.job_id, "cancel")
+        if job.past_deadline(now):
+            raise DeadlineError(
+                f"cell {job.job_id!r} blew its deadline mid-run "
+                f"({now - job.deadline_unix:.1f}s over); worker preempted"
+            )
+        winner = self.policy.should_preempt(
+            self.state, job, now, held_for=now - started_wall
+        )
+        if winner is not None:
+            raise PreemptRequest(
+                job.job_id,
+                f"preempted by higher-priority job {winner.job_id!r} "
+                f"(priority {winner.priority} > {job.priority})",
+            )
 
     # ------------------------------------------------------------------ #
     # Manifests
@@ -570,25 +800,51 @@ class SweepService:
         ``recover()`` reclaims every outstanding lease on the assumption
         that this process is the only writer; a submit/serve racing a
         live server would steal its leases and fork the queue state.
+
+        A pidfile abandoned by a SIGKILLed server (dead PID, or a PID
+        the kernel has since recycled onto an unrelated process) is
+        *stale*: it is removed and startup proceeds, instead of
+        refusing until someone hand-deletes it.  Recycling is detected
+        by the process start-time recorded next to the PID — same pid
+        with a different start time is a different process.
         """
         if not os.path.exists(self.pidfile):
             return
         try:
             with open(self.pidfile) as handle:
-                pid = int(handle.read().strip())
-        except (OSError, ValueError):
+                fields = handle.read().split()
+            pid = int(fields[0])
+        except (OSError, ValueError, IndexError):
+            # unreadable garbage guards nothing: reclaim it
+            self._reclaim_pidfile("unreadable")
             return
-        if pid != os.getpid() and _pid_alive(pid):
-            raise JournalError(
-                f"service directory {self.directory!r} is already "
-                f"served by live pid {pid}; two concurrent writers "
-                f"would race the journal"
-            )
+        if pid == os.getpid():
+            return
+        recorded_start = fields[1] if len(fields) > 1 else ""
+        if not _pid_alive(pid):
+            self._reclaim_pidfile(f"owner pid {pid} is dead")
+            return
+        if recorded_start and _proc_starttime(pid) != recorded_start:
+            # the owner died and the kernel recycled its PID onto an
+            # unrelated live process — the guard is stale all the same
+            self._reclaim_pidfile(f"pid {pid} was recycled")
+            return
+        raise JournalError(
+            f"service directory {self.directory!r} is already "
+            f"served by live pid {pid}; two concurrent writers "
+            f"would race the journal"
+        )
+
+    def _reclaim_pidfile(self, why: str) -> None:
+        try:
+            os.remove(self.pidfile)
+        except OSError:
+            pass
 
     def _acquire_pidfile(self) -> None:
         self.assert_no_live_server()
         with open(self.pidfile, "w") as handle:
-            handle.write(f"{os.getpid()}\n")
+            handle.write(f"{os.getpid()} {_proc_starttime(os.getpid())}\n")
 
     def _release_pidfile(self) -> None:
         try:

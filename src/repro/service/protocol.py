@@ -1,0 +1,167 @@
+"""Wire protocol for the sweep daemon: length-prefixed JSON frames.
+
+Clients talk to ``repro serve --daemon`` over a Unix-domain socket.
+Every message — request or response — is one *frame*::
+
+    ┌────────────────┬──────────────────────────────┐
+    │ 4-byte length  │  UTF-8 JSON object (body)    │
+    │ (big-endian)   │  exactly `length` bytes      │
+    └────────────────┴──────────────────────────────┘
+
+The length prefix covers the body only and must be in
+``(0, MAX_FRAME_BYTES]``; anything else is a framing violation.  A
+framing violation desynchronizes the byte stream, so the daemon answers
+with one error frame and closes the connection.  A frame that decodes
+but is semantically invalid (not a JSON object, missing ``op``, unknown
+``op``) is rejected with an error response on the still-synchronized
+connection.  Neither case touches the WAL or takes the daemon down —
+malformed input is the *client's* failure, never the service's.
+
+Requests are JSON objects ``{"op": <str>, ...}``; responses are
+``{"ok": true, ...}`` or ``{"ok": false, "error": <taxonomy class>,
+"message": <str>[, "retry_after": <seconds>]}``.  Load-shed responses
+carry ``retry_after`` hints the client library honors before
+resubmitting.
+
+Idempotency keys are content-derived — sha256 over the canonical
+``(benchmark, config-hash, scale, seed)`` tuple — so a client that
+times out and retries can never enqueue a duplicate: the retried
+submission carries the same key, joins the in-flight job, or is
+answered from the result cache byte-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from ..engine.errors import ProtocolError
+
+#: protocol version spoken by this build (both sides check it in hello)
+PROTOCOL_VERSION = 1
+
+#: hard cap on one frame's body; larger prefixes are rejected unread
+MAX_FRAME_BYTES = 1 << 20
+
+#: daemon socket file name inside a service directory
+SOCKET_NAME = "daemon.sock"
+
+#: request operations the daemon understands
+OPS = ("ping", "submit", "status", "wait", "cancel", "stats", "shutdown")
+
+_LEN = struct.Struct(">I")
+
+
+def idempotency_key(
+    benchmark: str, config_hash: str, scale: str, seed: int
+) -> str:
+    """Content-derived idempotency key for one sweep cell.
+
+    A pure function of the cell's *content identity* — what would be
+    simulated — so every client that asks for the same cell derives the
+    same key without coordination.
+    """
+    token = f"{benchmark}\x00{config_hash}\x00{scale}\x00{seed}"
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+def encode_frame(body: Dict[str, Any]) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(blob)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return _LEN.pack(len(blob)) + blob
+
+
+def decode_body(blob: bytes) -> Dict[str, Any]:
+    """Parse one frame body; raise :class:`ProtocolError` if invalid."""
+    try:
+        body = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def frame_length(prefix: bytes) -> int:
+    """Validate a 4-byte length prefix; raise on framing violations."""
+    if len(prefix) != _LEN.size:
+        raise ProtocolError(
+            f"truncated frame length prefix ({len(prefix)} of "
+            f"{_LEN.size} bytes)"
+        )
+    (length,) = _LEN.unpack(prefix)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return length
+
+
+def send_frame(sock: socket.socket, body: Dict[str, Any]) -> None:
+    """Send one frame over a connected socket."""
+    sock.sendall(encode_frame(body))
+
+
+def recv_frame(
+    sock: socket.socket, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Receive exactly one frame; raise :class:`ProtocolError` on EOF
+    mid-frame, framing violations, or undecodable bodies.
+
+    ``socket.timeout`` propagates to the caller (the client's retry
+    loop treats it like a dropped connection).
+    """
+    sock.settimeout(timeout)
+    prefix = _recv_exact(sock, _LEN.size)
+    length = frame_length(prefix)
+    return decode_body(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining} of {n} "
+                f"bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# --------------------------------------------------------------------- #
+# Response constructors (one shape each, so clients can branch safely)
+# --------------------------------------------------------------------- #
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"ok": True}
+    body.update(fields)
+    return body
+
+
+def error_response(
+    error_class: str, message: str, retry_after: float = 0.0
+) -> Dict[str, Any]:
+    body: Dict[str, Any] = {
+        "ok": False,
+        "error": error_class,
+        "message": message,
+    }
+    if retry_after:
+        body["retry_after"] = retry_after
+    return body

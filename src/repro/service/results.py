@@ -1,0 +1,174 @@
+"""Content-addressed result cache: completed cells served from disk.
+
+The "millions of users" lever: once a sweep cell has been simulated,
+every later request for the same *content identity* — the
+(benchmark, config-hash, scale, seed) tuple hashed into an idempotency
+key (:func:`repro.service.protocol.idempotency_key`) — is answered from
+this cache without re-simulation.  Overlapping sweeps, retried client
+requests, and restarted daemons all converge on one execution per cell.
+
+Each entry is one file, ``results/<key>.json``, whose name *is* its
+address.  The stored bytes are canonical JSON (sorted keys, fixed
+separators) of::
+
+    {"kind": "repro-result", "version": 1, "key": ..., "job_id": ...,
+     "benchmark": ..., "config_name": ..., "config_hash": ...,
+     "scale": ..., "seed": ..., "result": {...}}
+
+so a retried request is answered *byte-identically* to the first — the
+chaos gate asserts exactly that.  Entries are written atomically
+(:func:`~repro.engine.atomic.atomic_write`): a SIGKILL mid-write leaves
+either no entry or a complete one, never a torn file.  An entry that
+fails validation on read (truncated by external interference, foreign
+kind, key mismatch) is treated as a miss and quarantined out of the
+way rather than served or trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..engine.atomic import atomic_write
+
+CACHE_KIND = "repro-result"
+CACHE_VERSION = 1
+
+#: cache directory name inside a service directory
+RESULTS_DIR = "results"
+
+
+class ResultCache:
+    """Content-addressed, crash-safe store of completed cell results."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        #: served-from-cache / stored / invalid-entry tallies (process-
+        #: local observability; durable truth is the files themselves)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> str:
+        if (
+            not key
+            or key in (".", "..")
+            or os.sep in key
+            or key != os.path.basename(key)
+        ):
+            raise ValueError(f"malformed cache key {key!r}")
+        return os.path.join(self.directory, f"{key}.json")
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the validated entry for ``key``, or None on a miss."""
+        entry = self._load(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The exact stored bytes for ``key`` (byte-identity checks)."""
+        if self._load(key) is None:
+            return None
+        with open(self.path_for(key), "rb") as handle:
+            return handle.read()
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                entry = json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("kind") != CACHE_KIND
+            or entry.get("version") != CACHE_VERSION
+            or entry.get("key") != key
+            or not isinstance(entry.get("result"), dict)
+        ):
+            self._quarantine(path)
+            return None
+        return entry
+
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        """Move an invalid entry aside so it reads as a miss forever.
+
+        Renaming (not deleting) keeps the evidence for debugging while
+        guaranteeing the poisoned bytes are never served.
+        """
+        try:
+            os.replace(path, path + ".invalid")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        key: str,
+        result: Dict[str, Any],
+        *,
+        job_id: str = "",
+        benchmark: str = "",
+        config_name: str = "",
+        config_hash: str = "",
+        scale: str = "",
+        seed: int = 0,
+    ) -> str:
+        """Store one completed cell; idempotent (first write wins).
+
+        Content addressing makes overwriting pointless: an existing
+        entry for ``key`` was produced by the same (deterministic)
+        simulation, so the first durable write is kept and later ones
+        are no-ops — a restarted daemon re-finishing a reclaimed job
+        cannot flap the stored bytes.
+        """
+        path = self.path_for(key)
+        if os.path.exists(path):
+            return path
+        entry = {
+            "kind": CACHE_KIND,
+            "version": CACHE_VERSION,
+            "key": key,
+            "job_id": job_id,
+            "benchmark": benchmark,
+            "config_name": config_name,
+            "config_hash": config_hash,
+            "scale": scale,
+            "seed": seed,
+            "result": result,
+        }
+        blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        atomic_write(path, blob)
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.endswith(".json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

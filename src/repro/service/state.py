@@ -6,8 +6,10 @@ through the service state machine::
     SUBMITTED ──lease──► LEASED ──start──► RUNNING ──done──► DONE
         ▲                  │                  │ ├────fail──► FAILED
         │                  │                  │
-        └────── reclaim ───┴──────────────────┘
+        └─ reclaim/preempt ┴──────────────────┘
     SUBMITTED ──quarantine (breaker open)──► QUARANTINED
+    SUBMITTED ──cancel──► CANCELLED
+    SUBMITTED ──fail (deadline expired)──► FAILED
 
 Every arrow is journaled *before* it is taken (see
 :mod:`repro.service.journal`); :class:`QueueState` is the pure reducer
@@ -33,11 +35,14 @@ RUNNING = "RUNNING"
 DONE = "DONE"
 FAILED = "FAILED"
 QUARANTINED = "QUARANTINED"
+CANCELLED = "CANCELLED"
 
-JOB_STATES = (SUBMITTED, LEASED, RUNNING, DONE, FAILED, QUARANTINED)
+JOB_STATES = (
+    SUBMITTED, LEASED, RUNNING, DONE, FAILED, QUARANTINED, CANCELLED,
+)
 
 #: terminal states: the job will never run again
-TERMINAL_STATES = frozenset({DONE, FAILED, QUARANTINED})
+TERMINAL_STATES = frozenset({DONE, FAILED, QUARANTINED, CANCELLED})
 
 #: legal (from, to) state-machine arrows
 LEGAL_TRANSITIONS = frozenset(
@@ -46,9 +51,11 @@ LEGAL_TRANSITIONS = frozenset(
         (LEASED, RUNNING),         # start
         (RUNNING, DONE),           # done
         (RUNNING, FAILED),         # fail
+        (SUBMITTED, FAILED),       # deadline expired before leasing
         (SUBMITTED, QUARANTINED),  # breaker open at lease time
+        (SUBMITTED, CANCELLED),    # client cancel before running
         (LEASED, SUBMITTED),       # reclaim (service died before start)
-        (RUNNING, SUBMITTED),      # reclaim (service died mid-cell)
+        (RUNNING, SUBMITTED),      # reclaim (died mid-cell) or preempt
     }
 )
 
@@ -62,6 +69,7 @@ COUNTER_NAMES = (
     "done",
     "failed",
     "quarantined",
+    "cancelled",
 )
 
 
@@ -91,15 +99,27 @@ class Job:
     leased_unix: float = 0.0
     #: journal seq of the last record that touched this job
     updated_seq: int = 0
+    #: scheduling priority (higher runs first; ties break FIFO)
+    priority: int = 0
+    #: absolute wall-clock deadline (0 = none); a job past it is
+    #: preempted/refused and journaled FAILED(deadline)
+    deadline_unix: float = 0.0
+    #: content-derived idempotency key: sha256 of
+    #: (benchmark, config-hash, scale, seed) — a retried submission
+    #: with the same key joins this job instead of duplicating it
+    idempotency_key: str = ""
 
     @property
     def marker(self) -> str:
         """Cell marker for tables: metrics cell or ``FAILED(<reason>)``."""
         if self.state == DONE:
             return "DONE"
-        if self.state in (FAILED, QUARANTINED):
+        if self.state in (FAILED, QUARANTINED, CANCELLED):
             return f"FAILED({self.error_class})"
         return self.state
+
+    def past_deadline(self, now_unix: float) -> bool:
+        return bool(self.deadline_unix) and now_unix > self.deadline_unix
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -117,6 +137,9 @@ class Job:
             "owner": self.owner,
             "leased_unix": self.leased_unix,
             "updated_seq": self.updated_seq,
+            "priority": self.priority,
+            "deadline_unix": self.deadline_unix,
+            "idempotency_key": self.idempotency_key,
         }
 
     @classmethod
@@ -131,6 +154,8 @@ class QueueState:
         self.jobs: Dict[str, Job] = {}
         #: submission order (scheduling is FIFO and deterministic)
         self.order: List[str] = []
+        #: idempotency key -> job_id (dedup joins; rebuilt on replay)
+        self.by_key: Dict[str, str] = {}
         self.counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
         #: breaker snapshots restored from a compaction record
         self.breaker_payloads: Dict[str, Dict[str, Any]] = {}
@@ -189,6 +214,8 @@ class QueueState:
         job.updated_seq = seq
         self.jobs[job.job_id] = job
         self.order.append(job.job_id)
+        if job.idempotency_key:
+            self.by_key[job.idempotency_key] = job.job_id
         self.counters["queued"] += 1
 
     def _apply_shed(self, payload: Dict[str, Any], seq: int) -> None:
@@ -245,6 +272,14 @@ class QueueState:
         job.owner = ""
         self.counters["quarantined"] += 1
 
+    def _apply_cancel(self, payload: Dict[str, Any], seq: int) -> None:
+        job = self._job(payload, seq)
+        self._transition(job, CANCELLED, seq)
+        job.error_class = "cancelled"
+        job.message = payload.get("message", "")
+        job.owner = ""
+        self.counters["cancelled"] += 1
+
     def _apply_reclaim(self, payload: Dict[str, Any], seq: int) -> None:
         job = self._job(payload, seq)
         self._transition(job, SUBMITTED, seq)
@@ -263,6 +298,11 @@ class QueueState:
             for job_id, job_payload in payload["jobs"].items()
         }
         self.order = list(payload["order"])
+        self.by_key = {
+            job.idempotency_key: job.job_id
+            for job in self.jobs.values()
+            if job.idempotency_key
+        }
         self.counters = {
             name: int(payload["counters"].get(name, 0))
             for name in COUNTER_NAMES

@@ -177,3 +177,97 @@ class TestResilienceFlagParity:
         assert main(["run", "nw", "--scale", "micro", "--resume"]) == 0
         capsys.readouterr()
         assert (tmp_path / ".repro_checkpoint.micro.jsonl").exists()
+
+
+class TestServiceCli:
+    """CLI surface of the sweep service and daemon commands."""
+
+    def test_status_missing_journal_exits_12_one_line(self, capsys,
+                                                      tmp_path):
+        code = main(
+            ["status", "--scale", "micro",
+             "--service-dir", str(tmp_path / "nowhere")]
+        )
+        assert code == 12
+        err = capsys.readouterr().err.strip().splitlines()
+        assert len(err) == 1  # one diagnostic line, never a traceback
+        payload = json.loads(err[0])
+        assert payload["error"] == "journal"
+        assert payload["exit_code"] == 12
+        assert "no journal" in payload["message"]
+
+    def test_status_corrupt_header_exits_12(self, capsys, tmp_path):
+        svc = tmp_path / "svc"
+        svc.mkdir()
+        (svc / "journal.jsonl").write_bytes(b"\xff\xfe garbage, not JSON\n")
+        code = main(
+            ["status", "--scale", "micro", "--service-dir", str(svc)]
+        )
+        assert code == 12
+        err = capsys.readouterr().err.strip().splitlines()
+        assert len(err) == 1
+        payload = json.loads(err[0])
+        assert payload["error"] == "journal"
+        assert "unreadable or corrupt" in payload["message"]
+
+    def test_submit_and_serve_roundtrip(self, capsys, tmp_path):
+        svc = str(tmp_path / "svc")
+        assert main(
+            ["submit", "nw", "--configs", "baseline", "--scale", "micro",
+             "--service-dir", svc]
+        ) == 0
+        assert "submitted" in capsys.readouterr().out
+        assert main(
+            ["serve", "--scale", "micro", "--service-dir", svc]
+        ) == 0
+        assert "done=1" in capsys.readouterr().out
+        assert main(
+            ["status", "--scale", "micro", "--service-dir", svc]
+        ) == 0
+        assert "queue" in capsys.readouterr().out
+
+    def test_submit_deadline_and_priority_flags(self, capsys, tmp_path):
+        svc = str(tmp_path / "svc")
+        assert main(
+            ["submit", "nw", "--configs", "baseline", "--scale", "micro",
+             "--service-dir", svc, "--priority", "3", "--deadline", "900"]
+        ) == 0
+        capsys.readouterr()
+        from repro.service import SweepService
+
+        service = SweepService(svc, scale="micro", seed=0)
+        service.recover(readonly=True)
+        service.close()
+        job = service.state.jobs["nw:baseline"]
+        assert job.priority == 3
+        assert job.deadline_unix > 0
+        assert job.idempotency_key
+
+    def test_daemon_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--daemon", "--scale", "micro",
+             "--client-ttl", "5", "--socket", "/tmp/x.sock"]
+        )
+        assert args.daemon and args.client_ttl == 5.0
+        assert args.socket == "/tmp/x.sock"
+        args = parser.parse_args(
+            ["submit", "nw", "--daemon", "--wait", "--priority", "2"]
+        )
+        assert args.daemon and args.wait and args.priority == 2
+        args = parser.parse_args(["cancel", "nw:baseline", "--daemon"])
+        assert args.job_id == "nw:baseline"
+        args = parser.parse_args(
+            ["wait", "nw:baseline", "--deadline", "30"]
+        )
+        assert args.deadline == 30.0
+
+    def test_wait_against_dead_daemon_exits_protocol(self, capsys,
+                                                     tmp_path):
+        code = main(
+            ["wait", "nw:baseline", "--scale", "micro",
+             "--service-dir", str(tmp_path / "svc")]
+        )
+        assert code == 14  # protocol: daemon unreachable
+        payload = json.loads(capsys.readouterr().err.strip())
+        assert payload["error"] == "protocol"

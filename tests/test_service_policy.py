@@ -1,0 +1,92 @@
+"""Scheduling-policy unit tests: priority, EDF, preemption rules."""
+
+from repro.service.policy import PolicyConfig, SchedulingPolicy
+from repro.service.state import RUNNING, Job, QueueState
+
+
+def make_state(*jobs):
+    state = QueueState()
+    for seq, job in enumerate(jobs, start=2):
+        state.apply(
+            {"seq": seq, "type": "submit", "payload": {"job": job.to_payload()}}
+        )
+    return state
+
+
+def job(job_id, priority=0, deadline=0.0):
+    return Job(
+        job_id=job_id,
+        benchmark=job_id.split(":")[0],
+        config_name=job_id.split(":")[1],
+        priority=priority,
+        deadline_unix=deadline,
+    )
+
+
+def test_fifo_within_equal_priority_and_no_deadline():
+    state = make_state(job("a:x"), job("b:x"), job("c:x"))
+    policy = SchedulingPolicy()
+    assert [j.job_id for j in policy.runnable(state, 0.0)] == [
+        "a:x", "b:x", "c:x",
+    ]
+
+
+def test_priority_dominates_submission_order():
+    state = make_state(job("a:x"), job("b:x", priority=5), job("c:x", priority=1))
+    policy = SchedulingPolicy()
+    assert [j.job_id for j in policy.runnable(state, 0.0)] == [
+        "b:x", "c:x", "a:x",
+    ]
+    assert policy.pick_next(state, 0.0).job_id == "b:x"
+
+
+def test_edf_within_a_priority_band():
+    state = make_state(
+        job("a:x", deadline=300.0),
+        job("b:x", deadline=100.0),
+        job("c:x"),  # no deadline sorts after every real deadline
+    )
+    policy = SchedulingPolicy()
+    assert [j.job_id for j in policy.runnable(state, 0.0)] == [
+        "b:x", "a:x", "c:x",
+    ]
+
+
+def test_expired_jobs_are_excluded_and_reported():
+    state = make_state(job("a:x", deadline=10.0), job("b:x"))
+    policy = SchedulingPolicy()
+    assert [j.job_id for j in policy.expired(state, now_unix=11.0)] == ["a:x"]
+    assert [j.job_id for j in policy.runnable(state, 11.0)] == ["b:x"]
+
+
+def test_preemption_requires_strictly_higher_priority():
+    running = job("r:x", priority=3)
+    running.state = RUNNING
+    policy = SchedulingPolicy()
+    equal = make_state(job("a:x", priority=3))
+    assert policy.should_preempt(equal, running, 0.0) is None
+    lower = make_state(job("a:x", priority=1))
+    assert policy.should_preempt(lower, running, 0.0) is None
+    higher = make_state(job("a:x", priority=4))
+    winner = policy.should_preempt(higher, running, 0.0)
+    assert winner is not None and winner.job_id == "a:x"
+
+
+def test_preemption_respects_min_hold_and_off_switch():
+    running = job("r:x", priority=0)
+    running.state = RUNNING
+    state = make_state(job("a:x", priority=9))
+    held = SchedulingPolicy(PolicyConfig(min_run_before_preempt=5.0))
+    assert held.should_preempt(state, running, 0.0, held_for=1.0) is None
+    assert held.should_preempt(state, running, 0.0, held_for=6.0) is not None
+    off = SchedulingPolicy(PolicyConfig(preemption=False))
+    assert off.should_preempt(state, running, 0.0, held_for=99.0) is None
+
+
+def test_expired_never_preempts():
+    running = job("r:x", priority=0)
+    running.state = RUNNING
+    # the only pending job is higher priority but already expired
+    state = make_state(job("a:x", priority=9, deadline=10.0))
+    policy = SchedulingPolicy()
+    assert policy.should_preempt(state, running, now_unix=20.0) is None

@@ -385,3 +385,205 @@ def test_golden_gate_refuses_foreign_scale(tmp_path):
     service.close()
     assert not passed
     assert any("scale" in line for line in lines)
+
+
+# --------------------------------------------------------------------- #
+# Stale pidfile: dead or recycled owners are reclaimed, not refused
+# --------------------------------------------------------------------- #
+
+
+def test_stale_pidfile_dead_owner_reclaimed_on_startup(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    # a pidfile left by a SIGKILLed server whose pid no longer exists
+    dead = subprocess.Popen([sys.executable, "-c", "pass"])
+    dead.wait()
+    with open(service.pidfile, "w") as handle:
+        handle.write(f"{dead.pid} 12345\n")
+    service.run()  # must reclaim the stale guard and serve, not refuse
+    service.close()
+    assert service.state.jobs["nw:baseline"].state == DONE
+    assert not os.path.exists(service.pidfile)
+
+
+def test_stale_pidfile_recycled_pid_reclaimed(tmp_path):
+    from repro.service.pool import _proc_starttime
+
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    # pid 1 is alive, but its start time cannot match this bogus one:
+    # the recorded owner died and the kernel reused its pid
+    real = _proc_starttime(1)
+    bogus = "999999999" if real != "999999999" else "888888888"
+    with open(service.pidfile, "w") as handle:
+        handle.write(f"1 {bogus}\n")
+    service.run()
+    service.close()
+    assert service.state.jobs["nw:baseline"].state == DONE
+
+
+def test_unreadable_pidfile_reclaimed(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    with open(service.pidfile, "w") as handle:
+        handle.write("not-a-pid\n")
+    service.run()
+    service.close()
+    assert service.state.jobs["nw:baseline"].state == DONE
+
+
+def test_live_pid_with_matching_starttime_still_refused(tmp_path):
+    from repro.service.pool import _proc_starttime
+
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    start = _proc_starttime(1)
+    if not start:
+        pytest.skip("no /proc starttime on this platform")
+    with open(service.pidfile, "w") as handle:
+        handle.write(f"1 {start}\n")
+    with pytest.raises(JournalError, match="already"):
+        service.run()
+    service.close()
+
+
+def test_pidfile_records_pid_and_starttime(tmp_path):
+    from repro.service.pool import _proc_starttime
+
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    seen = {}
+    # spy inside the serve loop: run() removes the pidfile on exit
+    original = service._run_job
+
+    def spying_run_job(job):
+        seen["content"] = open(service.pidfile).read().split()
+        return original(job)
+
+    service._run_job = spying_run_job
+    service.run()
+    service.close()
+    pid, starttime = seen["content"]
+    assert int(pid) == os.getpid()
+    assert starttime == _proc_starttime(os.getpid())
+
+
+# --------------------------------------------------------------------- #
+# Compaction racing live traffic (satellite: seq gaps + replay identity)
+# --------------------------------------------------------------------- #
+
+
+def test_compact_refused_while_lease_outstanding(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.leases.grant("nw:baseline", "fake-owner")
+    assert service.compact_now(force=True) is False
+    service.leases.release("nw:baseline")
+    assert service.compact_now(force=True) is True
+    service.close()
+
+
+def test_compaction_interleaved_with_submits_keeps_seq_monotonic(tmp_path):
+    service = make_service(tmp_path)
+    seqs = []
+
+    def record_seq():
+        seqs.append(service.journal.seq)
+
+    service.submit("nw", "baseline")
+    record_seq()
+    assert service.compact_now(force=True) is True
+    record_seq()
+    # a submit that lands right after compaction must extend the log,
+    # not restart numbering (a seq regression would desync replicas)
+    service.submit("nw", "sched")
+    record_seq()
+    assert service.compact_now(force=True) is True
+    record_seq()
+    service.submit("nw", "partition_sharing")
+    record_seq()
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+    # replay after the interleaving reproduces the live state exactly
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    recovered.recover()
+    recovered.close()
+    assert set(recovered.state.jobs) == set(service.state.jobs)
+    assert recovered.state.counters == service.state.counters
+    assert recovered.state.by_key == service.state.by_key
+    service.close()
+
+
+def test_compaction_racing_heartbeats_never_corrupts(tmp_path):
+    """A lease heartbeat between compaction attempts must never be lost
+    or produce a journal the reducer refuses."""
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.submit("nw", "sched")
+    # simulate the race: lease held (heartbeating) while compaction is
+    # requested repeatedly — every attempt must refuse until release
+    service.leases.grant("nw:baseline", service.incarnation)
+    for _ in range(5):
+        service.leases.heartbeat("nw:baseline")
+        assert service.compact_now(force=True) is False
+    service.leases.release("nw:baseline")
+    assert service.compact_now(force=True) is True
+    # post-compaction the queue still runs to completion and replays
+    service.run()
+    service.close()
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    recovered.recover()
+    recovered.close()
+    assert recovered.state.counters == service.state.counters
+    for job_id, job in service.state.jobs.items():
+        assert recovered.state.jobs[job_id].state == job.state
+
+
+def test_replay_identical_after_compaction_mid_sweep(tmp_path):
+    service = make_service(tmp_path, compact_after=1)
+    service.submit("nw", "baseline")
+    service.submit("nw", "sched")
+    service.run()  # compacts at shutdown (compact_after=1)
+    service.submit("nw", "partition_sharing")
+    service.run()
+    service.close()
+
+    recovered = SweepService(str(tmp_path / "svc"), scale="micro", seed=0)
+    recovered.recover()
+    recovered.close()
+    assert recovered.state.counters == service.state.counters
+    assert recovered.state.by_key == service.state.by_key
+    for job_id, job in service.state.jobs.items():
+        clone = recovered.state.jobs[job_id]
+        assert clone.state == job.state
+        assert clone.result == job.result
+        assert clone.idempotency_key == job.idempotency_key
+
+
+# --------------------------------------------------------------------- #
+# Idempotency keys at the pool layer
+# --------------------------------------------------------------------- #
+
+
+def test_submit_joins_existing_job_by_idempotency_key(tmp_path):
+    service = make_service(tmp_path)
+    first = service.submit("nw", "baseline")
+    assert first.idempotency_key
+    joined = service.submit(
+        "nw", "baseline", idempotency_key=first.idempotency_key
+    )
+    assert joined.job_id == first.job_id
+    assert service.state.counters["queued"] == 1
+    service.close()
+
+
+def test_done_job_writes_result_cache_entry(tmp_path):
+    service = make_service(tmp_path)
+    job = service.submit("nw", "baseline")
+    service.run()
+    service.close()
+    entry = service.results.get(job.idempotency_key)
+    assert entry is not None
+    assert entry["job_id"] == "nw:baseline"
+    assert entry["result"] == service.state.jobs["nw:baseline"].result

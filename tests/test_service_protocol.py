@@ -1,0 +1,94 @@
+"""Wire-protocol unit tests: framing, validation, idempotency keys."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.engine.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    error_response,
+    frame_length,
+    idempotency_key,
+    ok_response,
+    recv_frame,
+    send_frame,
+)
+
+
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"op": "ping", "n": 1})
+        body = recv_frame(b, timeout=2.0)
+        assert body == {"op": "ping", "n": 1}
+    finally:
+        a.close()
+        b.close()
+
+
+def test_encode_is_canonical_and_deterministic():
+    one = encode_frame({"b": 1, "a": 2})
+    two = encode_frame({"a": 2, "b": 1})
+    assert one == two  # sorted keys: key order cannot change the bytes
+
+
+def test_oversized_body_refused_at_encode():
+    with pytest.raises(ProtocolError, match="frame cap"):
+        encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_frame_length_validation():
+    assert frame_length(struct.pack(">I", 17)) == 17
+    with pytest.raises(ProtocolError, match="truncated"):
+        frame_length(b"\x00\x00")
+    with pytest.raises(ProtocolError, match="zero-length"):
+        frame_length(struct.pack(">I", 0))
+    with pytest.raises(ProtocolError, match="exceeds"):
+        frame_length(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+
+def test_decode_body_rejects_garbage_and_non_objects():
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        decode_body(b"\xff\xfe{{{")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_body(b"[1, 2, 3]")
+    assert decode_body(b'{"op": "ping"}') == {"op": "ping"}
+
+
+def test_recv_frame_raises_on_eof_mid_frame():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack(">I", 100) + b"{\"half\": tru")
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(b, timeout=2.0)
+    finally:
+        b.close()
+
+
+def test_idempotency_key_is_content_derived():
+    key = idempotency_key("bfs", "abc123", "micro", 0)
+    assert key == idempotency_key("bfs", "abc123", "micro", 0)
+    assert len(key) == 64 and int(key, 16) >= 0
+    # every component of the content identity changes the key
+    assert key != idempotency_key("nw", "abc123", "micro", 0)
+    assert key != idempotency_key("bfs", "def456", "micro", 0)
+    assert key != idempotency_key("bfs", "abc123", "small", 0)
+    assert key != idempotency_key("bfs", "abc123", "micro", 1)
+
+
+def test_response_constructors():
+    assert ok_response(x=1) == {"ok": True, "x": 1}
+    shed = error_response("admission", "full", retry_after=2.5)
+    assert shed == {
+        "ok": False,
+        "error": "admission",
+        "message": "full",
+        "retry_after": 2.5,
+    }
+    plain = error_response("protocol", "bad")
+    assert "retry_after" not in plain
