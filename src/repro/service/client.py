@@ -132,9 +132,16 @@ class DaemonClient:
         """
         self._request_no += 1
         last_failure = "never attempted"
+        shed_hint = 0.0
         for attempt in range(self.max_attempts):
             if attempt:
-                self.sleep(self.backoff(attempt - 1))
+                # a honoured retry-after REPLACES the backoff for this
+                # retry — exactly one standoff per attempt, never both
+                if shed_hint:
+                    self.sleep(shed_hint)
+                else:
+                    self.sleep(self.backoff(attempt - 1))
+            shed_hint = 0.0
             try:
                 if self._sock is None:
                     self._sock = self._connect()
@@ -151,9 +158,7 @@ class DaemonClient:
             error = response.get("error", "protocol")
             message = response.get("message", "daemon refused the request")
             if error in RETRYABLE_ERRORS and attempt < self.max_attempts - 1:
-                hint = response.get("retry_after", 0.0)
-                if hint:
-                    self.sleep(float(hint))
+                shed_hint = float(response.get("retry_after", 0.0) or 0.0)
                 last_failure = f"shed: {message}"
                 continue
             exc = error_from_class(error, message)

@@ -26,7 +26,7 @@ reads :class:`~repro.service.state.QueueState` and answers questions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .state import SUBMITTED, Job, QueueState
 
@@ -52,19 +52,25 @@ class SchedulingPolicy:
     # Ordering
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _rank(state: QueueState, job: Job) -> tuple:
+    def _rank(position: Dict[str, int], job: Job) -> tuple:
         # deadline 0 means "none": sort it after every real deadline
         deadline = job.deadline_unix if job.deadline_unix else float("inf")
-        return (-job.priority, deadline, state.order.index(job.job_id))
+        return (-job.priority, deadline, position[job.job_id])
 
     def runnable(self, state: QueueState, now_unix: float) -> List[Job]:
         """Pending jobs in run order, expired deadlines excluded."""
+        # submission positions resolved once per call: order.index()
+        # inside the sort key would be O(n^2) in queue depth, and this
+        # runs on every next_job() and heartbeat preemption check
+        position = {
+            job_id: index for index, job_id in enumerate(state.order)
+        }
         ready = [
             job
             for job in state.pending()
             if not job.past_deadline(now_unix)
         ]
-        ready.sort(key=lambda job: self._rank(state, job))
+        ready.sort(key=lambda job: self._rank(position, job))
         return ready
 
     def pick_next(

@@ -32,6 +32,7 @@ Design points:
 from __future__ import annotations
 
 import os
+import re
 import selectors
 import socket
 import time
@@ -54,6 +55,16 @@ from .protocol import (
     ok_response,
 )
 
+#: shape of a content-derived idempotency key (sha256 hexdigest).  The
+#: key names a file in the result cache, so anything else — path
+#: separators above all — is rejected at intake before it can reach
+#: the filesystem layer
+_KEY_RE = re.compile(r"[0-9a-f]{64}")
+
+
+def _valid_key(key: str) -> bool:
+    return _KEY_RE.fullmatch(key) is not None
+
 
 class _Client:
     """One accepted connection and its partially-read frame."""
@@ -61,6 +72,7 @@ class _Client:
     def __init__(self, sock: socket.socket, now: float) -> None:
         self.sock = sock
         self.buffer = b""
+        self.out = b""
         self.last_active = now
 
 
@@ -176,11 +188,17 @@ class SweepDaemon:
     def pump(self, wait: float = 0.0) -> None:
         if self.selector is None:
             return
-        for key, _ in self.selector.select(timeout=wait):
+        for key, mask in self.selector.select(timeout=wait):
             if key.fileobj is self.listener:
                 self._accept()
-            else:
-                self._read(self.clients[key.fd])
+                continue
+            client = self.clients.get(key.fd)
+            if client is None:
+                continue  # dropped earlier in this same pass
+            if mask & selectors.EVENT_WRITE:
+                self._flush(client)
+            if mask & selectors.EVENT_READ and client.sock.fileno() >= 0:
+                self._read(client)
         self._evict_stale()
 
     def _accept(self) -> None:
@@ -243,9 +261,47 @@ class SweepDaemon:
 
     def _send(self, client: _Client, response: Dict[str, Any]) -> None:
         try:
-            client.sock.sendall(encode_frame(response))
-        except OSError:
-            self._drop(client)
+            frame = encode_frame(response)
+        except ProtocolError as exc:
+            frame = encode_frame(
+                error_response("protocol", f"response too large: {exc}")
+            )
+        client.out += frame
+        self._flush(client)
+
+    def _flush(self, client: _Client) -> None:
+        """Write as much buffered output as the kernel will take.
+
+        A full send buffer (slow reader draining a large result frame)
+        is back-pressure, not an error: the remainder stays queued on
+        the client and the selector watches ``EVENT_WRITE`` until it
+        drains.  Only a real socket error drops the connection.
+        """
+        while client.out:
+            try:
+                sent = client.sock.send(client.out)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._drop(client)
+                return
+            if sent == 0:
+                break
+            client.out = client.out[sent:]
+            client.last_active = self.clock()
+        self._watch(client)
+
+    def _watch(self, client: _Client) -> None:
+        """Keep the selector interested in writes while output queues."""
+        if self.selector is None or client.sock.fileno() < 0:
+            return
+        events = selectors.EVENT_READ
+        if client.out:
+            events |= selectors.EVENT_WRITE
+        try:
+            self.selector.modify(client.sock, events)
+        except (KeyError, ValueError):
+            pass
 
     def _drop(self, client: _Client) -> None:
         fd = client.sock.fileno()
@@ -289,6 +345,14 @@ class SweepDaemon:
             return error_response(exc.error_class, str(exc))
         except KeyError as exc:
             return error_response("protocol", f"unknown job {exc}")
+        except Exception as exc:  # containment: one request can get a
+            # wrong answer; it must never unwind the event loop and
+            # take the daemon down for every other client
+            return error_response(
+                "protocol",
+                f"internal error handling {op!r}: "
+                f"{type(exc).__name__}: {exc}",
+            )
         self.requests_served += 1
         return response
 
@@ -315,8 +379,13 @@ class SweepDaemon:
                 "protocol", "'deadline' must be seconds (number) or absent"
             )
         key = request.get("key")
-        if key is not None and not isinstance(key, str):
-            return error_response("protocol", "'key' must be a string")
+        if key is not None and (
+            not isinstance(key, str) or not _valid_key(key)
+        ):
+            return error_response(
+                "protocol",
+                "'key' must be a 64-char hex idempotency key",
+            )
         # a retried request whose cell already finished is answered
         # straight from the content-addressed cache — no re-simulation,
         # byte-identical result payload
@@ -359,6 +428,10 @@ class SweepDaemon:
                 depths=self.pool.state.depths(),
                 counters=dict(self.pool.state.counters),
             )
+        if not isinstance(job_id, str):
+            return error_response(
+                "protocol", "'job_id' must be a string or absent"
+            )
         job = self.pool.state.jobs[job_id]
         return ok_response(job=job.to_payload())
 
@@ -371,6 +444,13 @@ class SweepDaemon:
         """
         job_id = request.get("job_id")
         key = request.get("key")
+        if key is not None and (
+            not isinstance(key, str) or not _valid_key(key)
+        ):
+            return error_response(
+                "protocol",
+                "'key' must be a 64-char hex idempotency key",
+            )
         job = None
         if isinstance(job_id, str):
             job = self.pool.state.jobs.get(job_id)

@@ -226,6 +226,162 @@ def test_unknown_op_and_missing_fields_rejected(tmp_path):
         assert bad_deadline["ok"] is False
 
 
+def test_malformed_idempotency_key_rejected_daemon_up(tmp_path):
+    # regression: a key with a path separator used to reach
+    # ResultCache.path_for, whose ValueError unwound the event loop and
+    # killed the daemon for every client
+    pool = make_pool(tmp_path)
+    with DaemonHarness(pool) as h:
+        for bad in ("a/b", "../../etc/passwd", "", "Z" * 64, "abc"):
+            for op in ("submit", "wait"):
+                response = h.daemon.handle_request(
+                    {"op": op, "benchmark": "nw", "config": "baseline",
+                     "key": bad}
+                )
+                assert response["ok"] is False
+                assert response["error"] == "protocol"
+        # ... and over the wire: the daemon answers and stays up
+        body = json.dumps(
+            {"op": "submit", "benchmark": "nw", "config": "baseline",
+             "key": "a/b"}
+        ).encode()
+        sock = raw_connect(h.daemon)
+        try:
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            response = read_frame(sock)
+            assert response["ok"] is False
+            assert response["error"] == "protocol"
+        finally:
+            sock.close()
+        assert h.client.ping()["ok"] is True
+
+
+def test_non_string_job_id_rejected_not_raised(tmp_path):
+    # regression: a list/object job_id raised TypeError (unhashable)
+    # out of the jobs dict lookup and crashed the daemon
+    pool = make_pool(tmp_path)
+    with DaemonHarness(pool) as h:
+        for request in (
+            {"op": "status", "job_id": []},
+            {"op": "status", "job_id": {}},
+            {"op": "wait", "job_id": []},
+            {"op": "cancel", "job_id": 7},
+        ):
+            response = h.daemon.handle_request(request)
+            assert response["ok"] is False
+            assert response["error"] == "protocol"
+        body = json.dumps({"op": "status", "job_id": []}).encode()
+        sock = raw_connect(h.daemon)
+        try:
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            assert read_frame(sock)["ok"] is False
+        finally:
+            sock.close()
+        assert h.client.ping()["ok"] is True
+
+
+def test_unexpected_handler_error_is_contained(tmp_path):
+    # belt-and-braces: even a bug in a handler must surface as an error
+    # response on one connection, never unwind serve_forever
+    pool = make_pool(tmp_path)
+    daemon = SweepDaemon(pool)
+
+    def boom(job_id):
+        raise RuntimeError("handler bug")
+
+    pool.cancel = boom
+    response = daemon.handle_request({"op": "cancel", "job_id": "nw:x"})
+    assert response["ok"] is False
+    assert response["error"] == "protocol"
+    assert "RuntimeError" in response["message"]
+    pool.close()
+
+
+def test_slow_reader_backpressured_not_dropped(tmp_path):
+    # regression: sendall() on the non-blocking socket raised
+    # BlockingIOError once the kernel buffer filled, and the slow (not
+    # dead) reader was dropped mid-frame instead of back-pressured
+    import selectors
+
+    from repro.service.protocol import encode_frame
+    from repro.service.server import _Client
+
+    pool = make_pool(tmp_path)
+    daemon = SweepDaemon(pool)
+    daemon.selector = selectors.DefaultSelector()
+    server_side, client_side = socket.socketpair()
+    try:
+        server_side.setblocking(False)
+        server_side.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+        client = _Client(server_side, 0.0)
+        daemon.clients[server_side.fileno()] = client
+        daemon.selector.register(server_side, selectors.EVENT_READ)
+        body = {"ok": True, "blob": "x" * 400_000}
+        expected = encode_frame(body)
+        daemon._send(client, body)
+        # the kernel buffer filled: the remainder queues on the client,
+        # which stays connected and selector-watched for writability
+        assert client.out
+        assert server_side.fileno() >= 0
+        assert (
+            daemon.selector.get_key(server_side).events
+            & selectors.EVENT_WRITE
+        )
+        client_side.settimeout(5.0)
+        received = b""
+        while len(received) < len(expected):
+            received += client_side.recv(65536)
+            if client.out:
+                daemon._flush(client)
+        assert received == expected
+        assert client.out == b""
+        # fully drained: write interest is withdrawn again
+        assert not (
+            daemon.selector.get_key(server_side).events
+            & selectors.EVENT_WRITE
+        )
+    finally:
+        client_side.close()
+        daemon._close_all()
+        pool.close()
+
+
+def test_shed_retry_sleeps_hint_instead_of_backoff(tmp_path):
+    # regression: the client slept the server's retry_after hint AND
+    # the next attempt's backoff, roughly doubling the standoff
+    from repro.service.protocol import encode_frame, recv_frame
+
+    server_side, client_side = socket.socketpair()
+    responses = [
+        {"ok": False, "error": "admission", "message": "shed",
+         "retry_after": 7.5},
+        {"ok": True},
+    ]
+
+    def responder():
+        for response in responses:
+            try:
+                recv_frame(server_side, timeout=5.0)
+            except Exception:
+                return
+            server_side.sendall(encode_frame(response))
+
+    thread = threading.Thread(target=responder, daemon=True)
+    thread.start()
+    slept = []
+    client = DaemonClient(str(tmp_path), sleep=slept.append)
+    client._sock = client_side
+    try:
+        assert client.request({"op": "ping"})["ok"] is True
+        # exactly one standoff for the shed retry — the hint, not
+        # hint + backoff stacked
+        assert slept == [7.5]
+    finally:
+        client.close()
+        server_side.close()
+        thread.join(timeout=5.0)
+
+
 def test_client_disconnect_mid_stream_does_not_kill_daemon(tmp_path):
     pool = make_pool(tmp_path)
     with DaemonHarness(pool) as h:
