@@ -3,6 +3,9 @@
 Commands:
 
 * ``run`` — simulate one benchmark under a named configuration;
+  ``--tenants N --partition-mode {exclusive,shared-tlb,sub-entry}``
+  co-schedules N tenants on one GPU and prints per-tenant isolation
+  metrics (IPC, slowdown vs solo, Jain fairness, TLB cross-pollution);
 * ``compare`` — run a benchmark across several configurations;
 * ``report`` — regenerate every table/figure (writes EXPERIMENTS.md
   with ``--write``);
@@ -181,7 +184,61 @@ def _drain_runner(
         _finish_runner(runner)
 
 
+def _run_tenancy(args: argparse.Namespace) -> int:
+    """``repro run --tenants N``: co-schedule N tenants on one GPU and
+    print per-tenant isolation/interference metrics."""
+    from .experiments.configs import get_config
+    from .experiments.tenancy import run_tenancy_cell
+    from .telemetry import TelemetrySettings
+    from .tenancy import TenancySpec, expand_mix, parse_partition_mode
+
+    if args.checkpoint or args.resume:
+        raise ConfigError(
+            "--tenants runs are not checkpointable yet; drop "
+            "--checkpoint/--resume"
+        )
+    tenants = (
+        args.tenants if args.tenants is not None else len(args.tenant_mix)
+    )
+    mix = expand_mix(args.benchmark, tenants, args.tenant_mix)
+    mode = parse_partition_mode(args.partition_mode)
+    spec = TenancySpec(mix=mix, mode=mode, scale=args.scale, seed=args.seed)
+    telemetry = None
+    if args.trace is not None or args.sample_every is not None:
+        telemetry = TelemetrySettings(
+            trace_path=args.trace, sample_every=args.sample_every
+        )
+    result = run_tenancy_cell(
+        spec,
+        get_config(args.config),
+        config_tag=args.config,
+        sanitize=args.sanitize,
+        telemetry=telemetry,
+    )
+    print(f"configuration    {args.config} ({args.scale})")
+    print(f"tenants          {spec.num_tenants} ({' + '.join(spec.mix)})")
+    print(f"partition mode   {mode.value}")
+    print(f"makespan         {result.combined.cycles:.0f} cycles")
+    print(f"fairness (Jain)  {result.fairness_index:.4f}")
+    print(f"cross-tenant TLB evictions  {result.cross_tenant_evictions}")
+    print(f"{'tenant':>6s} {'benchmark':10s} {'ipc':>8s} {'slowdown':>9s} "
+          f"{'l1 hit':>7s} {'faults':>7s} {'finish':>12s}")
+    for t in result.tenants:
+        hit = t.l1_tlb_hit_rate
+        print(
+            f"{t.asid:6d} {t.benchmark:10s} {t.ipc:8.4f} "
+            f"{(t.slowdown if t.slowdown is not None else float('nan')):9.3f} "
+            f"{(hit if hit is not None else float('nan')):7.3f} "
+            f"{t.far_faults:7d} {t.finish_cycle:12.0f}"
+        )
+    if args.trace is not None:
+        print(f"trace            {args.trace}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.tenants is not None or args.tenant_mix:
+        return _run_tenancy(args)
     runner = _make_runner(args)
     with GracefulInterrupt() as interrupt:
         try:
@@ -703,6 +760,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--config", default="baseline", choices=sorted(CONFIGS),
         help="named machine configuration (default: baseline)",
+    )
+    from .tenancy import PARTITION_MODES as _PARTITION_MODES
+
+    tgroup = p_run.add_argument_group("multi-tenant")
+    tgroup.add_argument(
+        "--tenants", type=int, default=None, metavar="N",
+        help="co-schedule N tenants on one GPU (2-8; 1 reproduces the "
+             "single-tenant run bit-for-bit) and print per-tenant "
+             "IPC/slowdown/fairness isolation metrics",
+    )
+    tgroup.add_argument(
+        "--partition-mode", default="exclusive", dest="partition_mode",
+        choices=list(_PARTITION_MODES),
+        help="resource partitioning: 'exclusive' (MIG-style SM+TLB+memory "
+             "slices), 'shared-tlb' (ASID-tagged shared TLBs), "
+             "'sub-entry' (tag-shared TLB entries with per-ASID "
+             "sub-entries; arXiv 2404.18361)",
+    )
+    tgroup.add_argument(
+        "--tenant-mix", nargs="+", default=None, choices=BENCHMARKS,
+        dest="tenant_mix", metavar="BENCH",
+        help="workloads for the tenants (cycled to N tenants; default: "
+             "every tenant runs the positional benchmark)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -143,6 +143,68 @@ class TBIDIndexPolicy(IndexPolicy):
         return combined
 
 
+class TenantIndexPolicy(IndexPolicy):
+    """Set indexing partitioned by tenant ASID (MIG-style TLB slicing).
+
+    Multi-tenant VPNs carry the tenant's ASID at and above ``tag_shift``
+    (see :mod:`repro.tenancy`).  Tenant ``t`` of ``n`` owns the
+    contiguous set slice ``[t*S//n, (t+1)*S//n)``; within its slice a
+    tenant indexes by base-VPN modulo the slice length, so no lookup or
+    insertion ever leaves the owner's slice — the strict-isolation
+    invariant the sanitizer's ``tenant.cross_tlb`` tag audits.
+
+    Deliberately exposes ``sets_for_tenant`` (not ``sets_for``): the
+    single-tenant :class:`~repro.sanitizer.checkers.PartitionChecker` is
+    keyed on ``sets_for`` and does not apply here.
+    """
+
+    def __init__(self, num_sets: int, num_tenants: int, tag_shift: int) -> None:
+        if num_sets <= 0:
+            raise ValueError(f"num_sets must be positive, got {num_sets}")
+        if num_tenants <= 0:
+            raise ValueError(f"num_tenants must be positive, got {num_tenants}")
+        if num_tenants > num_sets:
+            raise ValueError(
+                f"{num_tenants} tenants need at least one set each; "
+                f"TLB has only {num_sets}"
+            )
+        if tag_shift <= 0:
+            raise ValueError(f"tag_shift must be positive, got {tag_shift}")
+        self.num_sets = num_sets
+        self.num_tenants = num_tenants
+        self.tag_shift = tag_shift
+        self._base_mask = (1 << tag_shift) - 1
+        bounds = [(t * num_sets) // num_tenants for t in range(num_tenants + 1)]
+        self._bounds = bounds
+        self._slices = tuple(
+            tuple(range(bounds[t], bounds[t + 1])) for t in range(num_tenants)
+        )
+        self._set_tuples = tuple((s,) for s in range(num_sets))
+
+    def sets_for_tenant(self, asid: int) -> Sequence[int]:
+        """The contiguous set slice owned by tenant ``asid``."""
+        if not 0 <= asid < self.num_tenants:
+            raise ValueError(
+                f"ASID {asid} out of range for {self.num_tenants} tenants"
+            )
+        return self._slices[asid]
+
+    def tenant_for_set(self, set_idx: int) -> int:
+        """The ASID owning ``set_idx`` (inverse of ``sets_for_tenant``)."""
+        for asid in range(self.num_tenants):
+            if self._bounds[asid] <= set_idx < self._bounds[asid + 1]:
+                return asid
+        raise ValueError(f"set index {set_idx} out of range")
+
+    def lookup_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        asid = vpn >> self.tag_shift
+        sl = self._slices[asid % self.num_tenants]
+        return self._set_tuples[sl[(vpn & self._base_mask) % len(sl)]]
+
+    def insert_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        return self.lookup_sets(vpn, tb_id)
+
+
 class _PartitioningMixin:
     """Shared behaviour for partitioned TLBs (plain and compressed).
 

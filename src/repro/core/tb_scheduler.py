@@ -152,3 +152,84 @@ def make_scheduler(kind, num_sms: int, **kwargs) -> TBScheduler:
     if kind is TBSchedulerKind.TLB_AWARE:
         return TLBAwareScheduler(num_sms, **kwargs)
     raise ValueError(f"unknown scheduler kind {kind!r}")
+
+
+class TenantScheduler(TBScheduler):
+    """Tenant-aware scheduler interface used by
+    :class:`repro.tenancy.machine.MultiTenantGPU`: the GPU names the
+    tenant whose TB it is placing, and the scheduler confines (or
+    doesn't) the placement according to the partition mode."""
+
+    def select_sm_for(self, tenant_id: int, sms: Sequence) -> Optional[object]:
+        raise NotImplementedError
+
+    def select_sm(self, sms: Sequence) -> Optional[object]:
+        return self.select_sm_for(0, sms)
+
+
+class ExclusiveTenantScheduler(TenantScheduler):
+    """MIG/SPX-style spatial partitioning: tenant ``t`` of ``n`` owns the
+    contiguous SM slice ``[t*S//n, (t+1)*S//n)`` and schedules inside it
+    with its own instance of the configured base policy.  With one tenant
+    the single inner scheduler sees every SM — placement decisions are
+    then identical to the single-tenant GPU's, which the
+    ``tenancy-identity`` metamorphic suite relies on.
+    """
+
+    def __init__(self, num_tenants: int, num_sms: int, kind, **kwargs) -> None:
+        if num_tenants <= 0:
+            raise ValueError(f"num_tenants must be positive, got {num_tenants}")
+        if num_tenants > num_sms:
+            raise ValueError(
+                f"{num_tenants} tenants need at least one SM each; "
+                f"GPU has only {num_sms}"
+            )
+        self.num_tenants = num_tenants
+        self._bounds = [
+            (t * num_sms) // num_tenants for t in range(num_tenants + 1)
+        ]
+        # Inner policies are sized for the full GPU (the TLB-aware status
+        # table indexes by global sm_id) but only ever see their slice.
+        self._inner = [
+            make_scheduler(kind, num_sms, **kwargs) for _ in range(num_tenants)
+        ]
+
+    def sm_slice(self, tenant_id: int) -> range:
+        """Global SM ids owned by ``tenant_id``."""
+        return range(self._bounds[tenant_id], self._bounds[tenant_id + 1])
+
+    def tenant_for_sm(self, sm_id: int) -> int:
+        for t in range(self.num_tenants):
+            if self._bounds[t] <= sm_id < self._bounds[t + 1]:
+                return t
+        raise ValueError(f"sm_id {sm_id} out of range")
+
+    def select_sm_for(self, tenant_id: int, sms: Sequence) -> Optional[object]:
+        lo, hi = self._bounds[tenant_id], self._bounds[tenant_id + 1]
+        return self._inner[tenant_id].select_sm(sms[lo:hi])
+
+    def on_tb_finished(self, sm, tb) -> None:
+        self._inner[self.tenant_for_sm(sm.sm_id)].on_tb_finished(sm, tb)
+
+    def bind_telemetry(self, tracer, clock) -> None:
+        for inner in self._inner:
+            inner.bind_telemetry(tracer, clock)
+
+
+class SharedTenantScheduler(TenantScheduler):
+    """CPX-style temporal sharing: every tenant's TBs compete for every
+    SM through one shared instance of the base policy (used by the
+    ``shared-tlb`` and ``sub-entry`` partition modes)."""
+
+    def __init__(self, num_sms: int, kind, **kwargs) -> None:
+        self.num_tenants = None  # any
+        self._inner = make_scheduler(kind, num_sms, **kwargs)
+
+    def select_sm_for(self, tenant_id: int, sms: Sequence) -> Optional[object]:
+        return self._inner.select_sm(sms)
+
+    def on_tb_finished(self, sm, tb) -> None:
+        self._inner.on_tb_finished(sm, tb)
+
+    def bind_telemetry(self, tracer, clock) -> None:
+        self._inner.bind_telemetry(tracer, clock)

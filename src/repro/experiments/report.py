@@ -35,6 +35,7 @@ from . import (
     fig12,
     large_pages,
     oversubscription,
+    tenancy,
     timeseries,
 )
 from .runner import ExperimentRunner, ShapeCheck, summarize_checks
@@ -174,6 +175,9 @@ def run_all(
         ("Ext: time-resolved",
          "L1 TLB miss rate over time (telemetry sampler)",
          timeseries.run),
+        ("Ext: tenancy",
+         "multi-tenant isolation & interference (partition modes)",
+         tenancy.run),
     ]
     for exp_id, title, run_fn in figures:
         guarded(

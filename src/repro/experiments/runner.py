@@ -298,6 +298,20 @@ class ExperimentRunner:
         )
         return spec, cell_trace
 
+    def record_config_hash(self, tag: str, hash_: str) -> None:
+        """Record (and resume-validate) a hash for cells built outside
+        :meth:`run_config` — e.g. tenancy cells, whose hash folds the
+        tenant composition into the GPU config hash."""
+        current = self._config_hashes.setdefault(tag, hash_)
+        resumed = self._resumed_hashes.get(tag)
+        if resumed is not None and resumed != current:
+            raise CheckpointError(
+                f"cannot reuse checkpoint {self.checkpoint_path!r}: config "
+                f"{tag!r} hashes to {current} but the checkpoint was "
+                f"produced with {resumed}; rerun without --resume (or "
+                f"restore the original configuration)"
+            )
+
     def _execute(self, spec: CellSpec) -> RunResult:
         if self.supervised:
             return RunResult.from_dict(self._supervisor.run_cell(spec))

@@ -20,6 +20,7 @@ from .checkers import (
     PartitionChecker,
     QueueChecker,
     StatusTableChecker,
+    TenantIsolationChecker,
     TLBChecker,
     WalkerChecker,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "WalkerChecker",
     "LifecycleChecker",
     "StatusTableChecker",
+    "TenantIsolationChecker",
     "CheckOutcome",
     "SUITES",
     "run_suites",

@@ -40,7 +40,15 @@ Tag inventory (stable; documented in DESIGN.md §8):
 20 warp.orphan_issue         no issue grant for a non-resident TB
 21 sm.stuck_translation      no translation waiter left at end of run
 22 sched.status_range        status-table miss rates within [0, 1]
+23 tenant.cross_tlb          strict partitioning: TLB entries only in
+                            their owner tenant's SM slice / set slice
+24 tenant.asid_leak          page-table lookups never resolve another
+                            tenant's ASID (VPN tag == PPN tag)
 == ========================= ==========================================
+
+Tags 23-24 are registered by
+:func:`repro.tenancy.machine.build_tenant_gpu` (multi-tenant runs only);
+the rest by :func:`repro.system.build_gpu` and the tenant builder alike.
 """
 
 from __future__ import annotations
@@ -512,6 +520,112 @@ class LifecycleChecker:
             self.on_issue(0, _DoneWarp())
         finally:
             self._ledger[0].discard(0)
+
+
+class TenantIsolationChecker:
+    """Cross-tenant isolation invariants for multi-tenant machines.
+
+    Two invariant classes (DESIGN.md §12):
+
+    * ``tenant.cross_tlb`` — under strict (exclusive) partitioning no
+      TLB anywhere holds a translation tagged with a foreign ASID: every
+      entry in a tenant's SM-slice L1s carries that tenant's tag, and
+      every entry in a tenant-sliced L2 set belongs to the set's owner.
+      Only swept in exclusive mode — the shared modes share storage by
+      design.
+    * ``tenant.asid_leak`` — the ASID router's audit trail of
+      (tagged VPN -> tagged PPN) resolutions never crosses address
+      spaces: the VPN's ASID tag equals the PPN's.  Swept in every mode
+      (per-tenant page tables must isolate regardless of TLB sharing).
+    """
+
+    def __init__(self, gpu) -> None:
+        from ..core.tb_scheduler import ExclusiveTenantScheduler
+        from ..tenancy.tenant import PPN_TAG_SHIFT
+
+        self.gpu = gpu
+        self.router = gpu.router
+        self._ppn_shift = PPN_TAG_SHIFT
+        self._vpn_shift = gpu.router.vpn_tag_shift
+        self._exclusive = isinstance(gpu.scheduler, ExclusiveTenantScheduler)
+        self.injectors = {"tenant.asid_leak": self._inject_asid_leak}
+        if self._exclusive:
+            self.injectors["tenant.cross_tlb"] = self._inject_cross_tlb
+
+    def sweep(self, san, sim) -> None:
+        if self._exclusive:
+            self._check_cross_tlb(san)
+        self._check_asid_leak(san)
+
+    def _check_cross_tlb(self, san) -> None:
+        from ..core.partitioned_tlb import TenantIndexPolicy
+        from ..translation.compression import CompressedTLB
+
+        scheduler = self.gpu.scheduler
+        shift = self._vpn_shift
+        for tid in range(len(self.gpu.tenants)):
+            for sm_id in scheduler.sm_slice(tid):
+                tlb = self.gpu.sms[sm_id].l1_tlb
+                if isinstance(tlb, CompressedTLB):
+                    continue  # range-keyed sets; keys are not raw VPNs
+                for set_idx, entry_set in enumerate(tlb.sets):
+                    for vpn in entry_set:
+                        if vpn >> shift != tid:
+                            san.violation(
+                                "tenant.cross_tlb",
+                                "foreign-tenant entry in an exclusive "
+                                "SM slice's L1 TLB",
+                                {"sm": sm_id, "set": set_idx, "vpn": vpn,
+                                 "owner": tid, "tagged": vpn >> shift},
+                            )
+        l2 = self.gpu.l2_tlb
+        policy = l2.policy
+        if isinstance(policy, TenantIndexPolicy):
+            for set_idx, entry_set in enumerate(l2.sets):
+                owner = policy.tenant_for_set(set_idx)
+                for vpn in entry_set:
+                    if vpn >> shift != owner:
+                        san.violation(
+                            "tenant.cross_tlb",
+                            "L2 TLB entry stored in another tenant's "
+                            "set slice",
+                            {"set": set_idx, "vpn": vpn, "owner": owner,
+                             "tagged": vpn >> shift},
+                        )
+
+    def _check_asid_leak(self, san) -> None:
+        audit = self.router.audit
+        vpn_shift = self._vpn_shift
+        ppn_shift = self._ppn_shift
+        while audit:
+            vpn, ppn = audit.popleft()
+            if vpn >> vpn_shift != ppn >> ppn_shift:
+                san.violation(
+                    "tenant.asid_leak",
+                    "page-table lookup resolved into another tenant's "
+                    "address space",
+                    {"vpn": vpn, "ppn": ppn,
+                     "vpn_asid": vpn >> vpn_shift,
+                     "ppn_asid": ppn >> ppn_shift},
+                )
+
+    # -- injection ------------------------------------------------------ #
+    def _inject_cross_tlb(self) -> None:
+        # plant a foreign-tagged translation in tenant 0's SM slice, in
+        # the VPN's own home set so only the tenant invariant trips (a
+        # misplaced entry would be the generic TLBChecker's diagnosis)
+        sm_id = self.gpu.scheduler.sm_slice(0)[0]
+        tlb = self.gpu.sms[sm_id].l1_tlb
+        foreign_vpn = (1 << self._vpn_shift) | 3
+        try:
+            home = tlb.policy.lookup_sets(foreign_vpn, None)[0]
+        except (ValueError, TypeError):
+            home = 0  # TB-id-indexed policies place any VPN anywhere
+        tlb.sets[home][foreign_vpn] = 3
+
+    def _inject_asid_leak(self) -> None:
+        # a resolution whose frame tag names a different tenant
+        self.router.audit.append((5, (1 << self._ppn_shift) | 5))
 
 
 class StatusTableChecker:

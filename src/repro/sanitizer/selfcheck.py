@@ -16,6 +16,11 @@ the property fails a first-class gate instead of skewing figures:
 * ``resume`` — a sweep interrupted after its first cell and resumed
   from the checkpoint must reproduce the cold run bit-for-bit, while
   actually restoring (not re-simulating) the finished cell.
+* ``tenancy-identity`` — a 1-tenant exclusive-mode multi-tenant machine
+  must reproduce the plain single-tenant simulation *byte-identically*:
+  the entire tenancy layer (ASID relocation at offset 0, the ASID
+  router, tenant-aware scheduling and metrics collection) must be a
+  transparent no-op at n=1.
 
 Suites return :class:`CheckOutcome` records rather than raising, so the
 CLI can run all of them and report every failure at once.
@@ -247,12 +252,64 @@ def suite_resume(scale: str, seed: int) -> CheckOutcome:
     )
 
 
+def suite_tenancy_identity(scale: str, seed: int) -> CheckOutcome:
+    """1 tenant + exclusive partitioning ≡ the single-tenant machine.
+
+    The strongest metamorphic property the tenancy subsystem offers:
+    with one tenant in exclusive mode every tenancy mechanism must
+    reduce to the identity (relocation adds offset 0, the ASID router
+    passes through, the tenant scheduler delegates to the stock
+    scheduler over all SMs), so the combined result — stats dump
+    included — must be byte-identical to :func:`repro.system.build_gpu`.
+    Checked for both the baseline and the proposal configuration.
+    """
+    from ..experiments.configs import get_config
+    from ..tenancy import PartitionMode, TenancySpec, build_tenant_gpu
+
+    for config_tag in ("baseline", _CELL_CONFIG):
+        from ..engine.supervision import CellSpec, simulate_cell
+
+        base = simulate_cell(
+            CellSpec(
+                benchmark=_CELL_BENCHMARK,
+                config=get_config(config_tag),
+                config_tag=config_tag,
+                scale=scale,
+                seed=seed,
+                sanitize="off",
+            )
+        )
+        spec = TenancySpec(
+            mix=(_CELL_BENCHMARK,),
+            mode=PartitionMode.EXCLUSIVE,
+            scale=scale,
+            seed=seed,
+        )
+        gpu = build_tenant_gpu(spec, get_config(config_tag))
+        tenant = gpu.run_tenants()
+        diff = _diff_payloads(
+            _result_payload(base), _result_payload(tenant.combined)
+        )
+        if diff is not None:
+            return CheckOutcome(
+                "tenancy-identity", False,
+                f"{_CELL_BENCHMARK}:{config_tag} 1-tenant exclusive "
+                f"diverged from the single-tenant machine — {diff}",
+            )
+    return CheckOutcome(
+        "tenancy-identity", True,
+        f"{_CELL_BENCHMARK} byte-identical under baseline and "
+        f"{_CELL_CONFIG}",
+    )
+
+
 #: suite registry: name -> fn(scale, seed) -> CheckOutcome
 SUITES: Dict[str, Callable[[str, int], CheckOutcome]] = {
     "tlb-sharing": suite_tlb_sharing,
     "telemetry": suite_telemetry,
     "sanitizer": suite_sanitizer,
     "resume": suite_resume,
+    "tenancy-identity": suite_tenancy_identity,
 }
 
 

@@ -29,11 +29,16 @@ _MANIFEST_KIND = "repro-manifest"
 WALL_TIME_FIELDS = ("created_unix", "created_iso", "wall_time_s", "git_sha")
 
 
-def config_hash(config: Any) -> str:
+def config_hash(config: Any, tenancy: Optional[dict] = None) -> str:
     """Stable short hash of a (dataclass) GPUConfig.
 
     Enums and other non-JSON values are serialized via ``str`` so the
     hash depends only on the config's contents, not object identity.
+
+    ``tenancy`` folds a tenant composition (tenant ids, workload mix,
+    partition mode — ``TenancySpec.describe()``) into the hash, so a
+    multi-tenant run can never collide with a single-tenant cache,
+    checkpoint, or golden entry that used the same GPU config.
     """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
         payload = dataclasses.asdict(config)
@@ -41,6 +46,8 @@ def config_hash(config: Any) -> str:
         payload = config
     else:
         payload = {"repr": repr(config)}
+    if tenancy is not None:
+        payload = {"gpu": payload, "tenancy": tenancy}
     canonical = json.dumps(
         payload, sort_keys=True, separators=(",", ":"), default=str
     )

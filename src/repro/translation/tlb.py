@@ -88,6 +88,30 @@ class VPNIndexPolicy(IndexPolicy):
         return self.lookup_sets(vpn, tb_id)
 
 
+class MaskedVPNIndexPolicy(VPNIndexPolicy):
+    """Index by the VPN's low (untagged) bits only.
+
+    Multi-tenant VPNs carry the tenant's ASID in bits at and above
+    ``tag_shift`` (see :mod:`repro.tenancy`).  Masking the tag before
+    indexing makes co-tenant translations of the same base page land in
+    the same set — required by :class:`SubEntrySharedTLB`, whose entries
+    are keyed by base VPN.
+    """
+
+    def __init__(self, num_sets: int, tag_shift: int, granularity: int = 1) -> None:
+        super().__init__(num_sets, granularity)
+        if tag_shift <= 0:
+            raise ValueError(f"tag_shift must be positive, got {tag_shift}")
+        self.tag_shift = tag_shift
+        self._base_mask = (1 << tag_shift) - 1
+
+    def lookup_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        return super().lookup_sets(vpn & self._base_mask, tb_id)
+
+    def insert_sets(self, vpn: int, tb_id: Optional[int]) -> Sequence[int]:
+        return self.lookup_sets(vpn, tb_id)
+
+
 class SetAssociativeTLB:
     """LRU set-associative TLB storage with a pluggable index policy.
 
@@ -337,3 +361,121 @@ class SetAssociativeTLB:
             f"{type(self).__name__}({self.name}: {self.num_entries} entries, "
             f"{self.associativity}-way, {self.occupancy} valid)"
         )
+
+
+class SubEntrySharedTLB(SetAssociativeTLB):
+    """Sub-entry-sharing TLB for multi-tenant GPUs (arXiv 2404.18361).
+
+    Entries are keyed by the *base* VPN (ASID tag stripped) and hold one
+    sub-entry per ASID: ``{base_vpn: {asid: ppn}}``.  Co-tenant
+    translations of the same virtual page share a single tag + LRU slot,
+    so a tenant filling a base page already cached by another tenant
+    costs no eviction — the mechanism's whole benefit over a plain
+    ASID-tagged TLB.  A tag hit with no sub-entry for the probing ASID
+    is still a miss (counted separately as ``tag_hit_sub_miss``); the
+    subsequent fill lands as a new sub-entry (``sub_entry_fills``)
+    without displacing anything.
+
+    Replacement is at whole-entry granularity: evicting an LRU entry
+    drops *all* its sub-entries (``sub_entry_evictions`` counts them).
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        lookup_latency: float,
+        tag_shift: int,
+        policy: Optional[IndexPolicy] = None,
+        stats: Optional[StatGroup] = None,
+        name: str = "tlb",
+    ) -> None:
+        if policy is None:
+            policy = MaskedVPNIndexPolicy(num_entries // associativity, tag_shift)
+        super().__init__(
+            num_entries, associativity, lookup_latency,
+            policy=policy, stats=stats, name=name,
+        )
+        self.tag_shift = tag_shift
+        self._base_mask = (1 << tag_shift) - 1
+        self._sub_entry_fills = self.stats.counter("sub_entry_fills")
+        self._tag_hit_sub_miss = self.stats.counter("tag_hit_sub_miss")
+        self._sub_entry_evictions = self.stats.counter("sub_entry_evictions")
+
+    def split(self, vpn: int) -> Tuple[int, int]:
+        """``tagged vpn -> (asid, base_vpn)``."""
+        return vpn >> self.tag_shift, vpn & self._base_mask
+
+    # ------------------------------------------------------------------ #
+    # Per-set storage hooks (entries are {base_vpn: {asid: ppn}})
+    # ------------------------------------------------------------------ #
+    def _probe_set(self, set_idx: int, vpn: int) -> Optional[int]:
+        asid = vpn >> self.tag_shift
+        base = vpn & self._base_mask
+        entry_set = self.sets[set_idx]
+        sub = entry_set.get(base)
+        if sub is None:
+            return None
+        entry_set.move_to_end(base)
+        ppn = sub.get(asid)
+        if ppn is None:
+            self._tag_hit_sub_miss.inc()
+        return ppn
+
+    def _refresh(self, set_idx: int, vpn: int, ppn: int) -> bool:
+        asid = vpn >> self.tag_shift
+        base = vpn & self._base_mask
+        entry_set = self.sets[set_idx]
+        sub = entry_set.get(base)
+        if sub is None:
+            return False
+        if asid not in sub:
+            self._sub_entry_fills.inc()
+        sub[asid] = ppn
+        entry_set.move_to_end(base)
+        return True
+
+    def _insert_new(
+        self, set_idx: int, vpn: int, ppn: int
+    ) -> Optional[Tuple[int, Any]]:
+        asid = vpn >> self.tag_shift
+        base = vpn & self._base_mask
+        entry_set = self.sets[set_idx]
+        evicted = None
+        if len(entry_set) >= self.associativity:
+            evicted = entry_set.popitem(last=False)
+            self._evictions.inc()
+            self._sub_entry_evictions.value += len(evicted[1])
+        entry_set[base] = {asid: ppn}
+        return evicted
+
+    def _place_if_free(self, set_idx: int, item: Tuple[int, Any]) -> bool:
+        entry_set = self.sets[set_idx]
+        if len(entry_set) >= self.associativity:
+            return False
+        key, payload = item
+        entry_set[key] = payload
+        return True
+
+    def _peek_set(self, set_idx: int, vpn: int) -> bool:
+        sub = self.sets[set_idx].get(vpn & self._base_mask)
+        return sub is not None and (vpn >> self.tag_shift) in sub
+
+    def invalidate(self, vpn: int) -> bool:
+        """Remove the probing ASID's sub-entry for ``vpn`` everywhere."""
+        asid = vpn >> self.tag_shift
+        base = vpn & self._base_mask
+        found = False
+        for entry_set in self.sets:
+            sub = entry_set.get(base)
+            if sub is not None and asid in sub:
+                del sub[asid]
+                found = True
+                if not sub:
+                    del entry_set[base]
+        return found
+
+    @property
+    def sub_occupancy(self) -> int:
+        """Total sub-entries across all sets (>= entry occupancy)."""
+        return sum(len(sub) for s in self.sets for sub in s.values())

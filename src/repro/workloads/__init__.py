@@ -10,8 +10,10 @@ from .registry import (
     TABLE2,
     BenchmarkMeta,
     make_benchmark,
+    register_benchmark,
     traced_footprint_bytes,
     traced_footprint_gb,
+    unregister_benchmark,
 )
 from .rodinia import make_nw
 
@@ -35,6 +37,8 @@ __all__ = [
     "make_graph_kernel",
     "make_matvec",
     "make_nw",
+    "register_benchmark",
     "traced_footprint_bytes",
     "traced_footprint_gb",
+    "unregister_benchmark",
 ]

@@ -58,18 +58,49 @@ TABLE2: Dict[str, BenchmarkMeta] = {
                          "PolyBench", "suite", 4.38),
 }
 
-_FACTORIES: Dict[str, Callable[[str, int], Kernel]] = {
-    "bfs": lambda scale, seed: make_graph_kernel("bfs", scale, seed),
-    "color": lambda scale, seed: make_graph_kernel("color", scale, seed),
-    "mis": lambda scale, seed: make_graph_kernel("mis", scale, seed),
-    "pagerank": lambda scale, seed: make_graph_kernel("pagerank", scale, seed),
-    "nw": lambda scale, seed: make_nw(scale, seed),
-    "3dconv": lambda scale, seed: make_3dconv(scale, seed),
-    "atax": lambda scale, seed: make_matvec("atax", scale, seed),
-    "bicg": lambda scale, seed: make_matvec("bicg", scale, seed),
-    "gemm": lambda scale, seed: make_gemm(scale, seed),
-    "mvt": lambda scale, seed: make_matvec("mvt", scale, seed),
-}
+_FACTORIES: Dict[str, Callable[[str, int], Kernel]] = {}
+
+
+def register_benchmark(
+    name: str,
+    factory: Callable[[str, int], Kernel],
+    meta: BenchmarkMeta = None,
+) -> None:
+    """Register a benchmark generator under ``name``.
+
+    Raises :class:`~repro.engine.errors.WorkloadError` if ``name`` is
+    already taken — silently overwriting an earlier generator would make
+    runs irreproducible (which factory produced the golden?).
+    """
+    if name in _FACTORIES:
+        raise WorkloadError(
+            f"benchmark {name!r} is already registered; pick a distinct "
+            f"name or unregister_benchmark({name!r}) first"
+        )
+    _FACTORIES[name] = factory
+    if meta is not None:
+        TABLE2[name] = meta
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove a registered benchmark (no-op if absent)."""
+    _FACTORIES.pop(name, None)
+
+
+for _name, _factory in (
+    ("bfs", lambda scale, seed: make_graph_kernel("bfs", scale, seed)),
+    ("color", lambda scale, seed: make_graph_kernel("color", scale, seed)),
+    ("mis", lambda scale, seed: make_graph_kernel("mis", scale, seed)),
+    ("pagerank", lambda scale, seed: make_graph_kernel("pagerank", scale, seed)),
+    ("nw", lambda scale, seed: make_nw(scale, seed)),
+    ("3dconv", lambda scale, seed: make_3dconv(scale, seed)),
+    ("atax", lambda scale, seed: make_matvec("atax", scale, seed)),
+    ("bicg", lambda scale, seed: make_matvec("bicg", scale, seed)),
+    ("gemm", lambda scale, seed: make_gemm(scale, seed)),
+    ("mvt", lambda scale, seed: make_matvec("mvt", scale, seed)),
+):
+    register_benchmark(_name, _factory)
+del _name, _factory
 
 
 def make_benchmark(name: str, scale: str = "small", seed: int = 0) -> Kernel:
