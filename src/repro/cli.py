@@ -28,7 +28,12 @@ Commands:
   (``--check-goldens`` gates recovered results against a golden file;
   ``--daemon`` asks a live daemon instead of replaying the journal);
 * ``cancel`` / ``wait`` — cancel one job / block until a job is
-  terminal, through a live daemon.
+  terminal, through a live daemon;
+* ``crash-explore`` — replay a scripted service session, crashing at
+  every mutating storage-operation boundary (``--torn`` crashes
+  mid-write), and audit that recovery holds every crash-consistency
+  invariant (no acked job lost, no duplicate DONE, deterministic
+  replay, byte-identical-or-absent result cache).
 
 Every simulating command (``run``, ``compare``, ``report``) accepts the
 same execution-resilience flags (``--timeout``, ``--checkpoint``,
@@ -55,7 +60,11 @@ a second signal hard-exits with ``128 + signum``.
 ``--timeout`` runs cells in supervised subprocess workers with a
 wall-clock watchdog; ``report --checkpoint/--resume`` makes a long
 sweep restartable.  ``REPRO_FAULT=bench:config:kind[:times]`` injects
-deterministic faults for testing the degradation path;
+deterministic faults for testing the degradation path, and
+``REPRO_FAULT=disk:<layer>:<kind>[:<nth-op>]`` injects *disk* faults
+(``enospc``/``eio``/``fsync``/``torn``/``crash``) into a named
+persistence layer (``journal``/``results``/``checkpoint``/``goldens``/
+``manifest``/``atomic``, or ``*``) through the storage shim;
 ``--sanitize[=strict|cheap]`` (or ``REPRO_SANITIZE``) enables runtime
 invariant checking, and ``REPRO_SANITIZE_INJECT=<tag>`` deliberately
 breaks one invariant to prove the checker fires.
@@ -701,6 +710,21 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crash_explore(args: argparse.Namespace) -> int:
+    from .service.crashpoints import explore
+
+    report = explore(
+        base_dir=args.dir,
+        scale=args.scale,
+        seed=args.seed,
+        budget=args.budget,
+        torn=args.torn,
+    )
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok() else 1
+
+
 def _add_daemon_group(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("daemon")
     group.add_argument(
@@ -1019,6 +1043,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_group(p_wait, admission=False)
     _add_daemon_group(p_wait)
     p_wait.set_defaults(func=cmd_wait)
+
+    p_cx = sub.add_parser(
+        "crash-explore",
+        help="crash a scripted service session at every storage-op "
+             "boundary and audit recovery invariants",
+    )
+    p_cx.add_argument(
+        "--scale", default="micro", choices=sorted(SCALES),
+        help="workload scale baked into job identities (default: micro)",
+    )
+    p_cx.add_argument("--seed", type=int, default=7)
+    p_cx.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="explore at most N evenly-spaced crash points instead of "
+             "every boundary (CI smoke)",
+    )
+    p_cx.add_argument(
+        "--torn", action="store_true",
+        help="crash mid-write (half the payload on disk) instead of "
+             "cleanly before the operation",
+    )
+    p_cx.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="directory for the per-crash-point service directories "
+             "(default: a fresh temp directory, kept for inspection)",
+    )
+    p_cx.set_defaults(func=cmd_crash_explore)
 
     p_list = sub.add_parser("list", help="list benchmarks/configs/scales")
     p_list.set_defaults(func=cmd_list)

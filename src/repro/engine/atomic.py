@@ -15,28 +15,24 @@ themselves, e.g. ``np.savez``).  Both follow the same discipline:
 
 A crash — including SIGKILL — at any point leaves either the complete
 old file or the complete new file, never a torn hybrid.  Failed writes
-clean up their temp file instead of littering the directory.
+clean up their temp file instead of littering the directory — including
+the sibling a path-writing library created under a name it chose itself
+(``np.savez`` appends ``.npz`` when the temp name carries no extension).
+
+Every filesystem operation routes through the injectable storage shim
+(:mod:`repro.engine.storage`): callers tag their persistence ``layer``
+so disk faults (ENOSPC, failed fsync, torn write, crash-after-N-bytes)
+can be injected per layer and every operation boundary is visible to
+the crash-point explorer.
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
-
-def _fsync_dir(directory: str) -> None:
-    """Persist a rename by fsyncing its directory (best effort)."""
-    try:
-        fd = os.open(directory or ".", os.O_RDONLY)
-    except OSError:
-        return  # e.g. a filesystem that cannot open directories
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+from .storage import Storage, get_storage
 
 
 def _tmp_name(path: str) -> str:
@@ -50,14 +46,43 @@ def _tmp_name(path: str) -> str:
     return f"{path}.tmp{ext}"
 
 
+def _cleanup_tmp(tmp: str) -> None:
+    """Remove the temp file and any sibling a writer derived from it.
+
+    A path-writing library handed ``tmp`` may create a different name
+    (``np.savez`` appends ``.npz`` when ``tmp`` has no extension), so a
+    failed write must sweep every ``tmp``-prefixed entry or it strands
+    orphans next to checkpoints/goldens/journal snapshots.  The prefix
+    contains the ``.tmp`` marker, so nothing but this call's artifacts
+    can match.
+    """
+    directory = os.path.dirname(tmp) or "."
+    base = os.path.basename(tmp)
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        if name.startswith(base):
+            with contextlib.suppress(OSError):
+                os.remove(os.path.join(directory, name))
+
+
 @contextlib.contextmanager
-def atomic_path(path: str, fsync: bool = True) -> Iterator[str]:
+def atomic_path(
+    path: str,
+    fsync: bool = True,
+    layer: str = "atomic",
+    storage: Optional[Storage] = None,
+) -> Iterator[str]:
     """Yield a temp path; on clean exit, atomically move it to ``path``.
 
     For writers that must control the file themselves (``np.savez``,
     ``json.dump`` on a handle the caller opens, ...).  On an exception
-    the temp file is removed and the destination is left untouched.
+    — the writer's own, or an injected disk fault — every temp artifact
+    is removed and the destination is left untouched.
     """
+    store = storage if storage is not None else get_storage()
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -65,30 +90,32 @@ def atomic_path(path: str, fsync: bool = True) -> Iterator[str]:
     try:
         yield tmp
         if fsync:
-            fd = os.open(tmp, os.O_RDONLY)
-            try:
-                os.fsync(fd)
-            finally:
-                os.close(fd)
-        os.replace(tmp, path)
+            store.fsync_path(tmp, layer)
+        store.replace(tmp, path, layer)
         if fsync:
-            _fsync_dir(directory)
+            store.fsync_dir(directory, layer)
     except BaseException:
-        with contextlib.suppress(OSError):
-            os.remove(tmp)
+        _cleanup_tmp(tmp)
         raise
 
 
 def atomic_write(
-    path: str, data: Union[str, bytes], fsync: bool = True
+    path: str,
+    data: Union[str, bytes],
+    fsync: bool = True,
+    layer: str = "atomic",
+    storage: Optional[Storage] = None,
 ) -> str:
     """Atomically replace ``path`` with ``data`` (temp + rename + fsync).
 
     Returns ``path``.  Readers racing the writer see either the old or
     the new contents, and SIGKILL mid-write never tears the file.
+    ``layer`` tags the storage-shim operations with the calling
+    persistence layer (journal/results/checkpoint/goldens/manifest) for
+    fault injection and crash-point enumeration.
     """
-    mode = "wb" if isinstance(data, bytes) else "w"
-    with atomic_path(path, fsync=fsync) as tmp:
-        with open(tmp, mode) as handle:
-            handle.write(data)
+    store = storage if storage is not None else get_storage()
+    blob = data.encode() if isinstance(data, str) else data
+    with atomic_path(path, fsync=fsync, layer=layer, storage=store) as tmp:
+        store.write_file(tmp, blob, layer)
     return path

@@ -19,12 +19,17 @@ trust end-to-end is worse than no cache.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import zlib
 from typing import Any, Dict, Optional, Tuple
 
 from .errors import CheckpointError
+from .storage import Storage, get_storage
+
+#: storage-shim layer tag for every checkpoint filesystem operation
+STORAGE_LAYER = "checkpoint"
 
 #: bump when the RunResult wire format or cell-key shape changes
 #: incompatibly (v2: keys grew telemetry fields, results grew timeseries)
@@ -42,10 +47,17 @@ def _canonical(result: Dict[str, Any]) -> bytes:
 class CheckpointStore:
     """Append-only cell-result cache bound to one (scale, seed) sweep."""
 
-    def __init__(self, path: str, scale: str = "", seed: int = 0) -> None:
+    def __init__(
+        self,
+        path: str,
+        scale: str = "",
+        seed: int = 0,
+        storage: Optional[Storage] = None,
+    ) -> None:
         self.path = path
         self.scale = scale
         self.seed = seed
+        self.storage = storage if storage is not None else get_storage()
         self._handle = None
 
     # ------------------------------------------------------------------ #
@@ -61,8 +73,8 @@ class CheckpointStore:
             return results
         # errors="replace": a flipped byte must surface as a corrupt
         # record (CheckpointError), not a UnicodeDecodeError
-        with open(self.path, "r", errors="replace") as handle:
-            lines = handle.read().split("\n")
+        blob = self.storage.read_bytes(self.path, STORAGE_LAYER)
+        lines = blob.decode("utf-8", errors="replace").split("\n")
         if lines and lines[-1] == "":
             lines.pop()
         if not lines:
@@ -129,7 +141,7 @@ class CheckpointStore:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._handle = open(self.path, "a")
+        self._handle = self.storage.open_append(self.path, STORAGE_LAYER)
         if fresh:
             header = {
                 "kind": _HEADER_KIND,
@@ -137,20 +149,47 @@ class CheckpointStore:
                 "scale": self.scale,
                 "seed": self.seed,
             }
-            self._handle.write(json.dumps(header) + "\n")
+            self._write_line(json.dumps(header))
             self._handle.flush()
 
     def append(self, key: CellKey, result: Dict[str, Any]) -> None:
-        """Durably record one completed cell (flushed immediately)."""
-        self._ensure_open()
+        """Durably record one completed cell (flushed immediately).
+
+        A storage failure (ENOSPC, failed fsync, torn write) surfaces
+        as :class:`CheckpointError` after rolling the file back to its
+        pre-append size, so a torn partial line can never corrupt the
+        *middle* of the store for the next ``load``.
+        """
         record = {
             "key": list(key),
             "crc": zlib.crc32(_canonical(result)),
             "result": result,
         }
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._ensure_open()
+        except OSError as exc:
+            raise CheckpointError(
+                f"{self.path}: checkpoint open failed: {exc}"
+            ) from exc
+        pre_size = self._handle.tell()
+        try:
+            self._write_line(json.dumps(record))
+            self.storage.fsync_handle(
+                self._handle, STORAGE_LAYER, self.path
+            )
+        except OSError as exc:
+            self.close()
+            with contextlib.suppress(OSError):
+                if os.path.getsize(self.path) > pre_size:
+                    os.truncate(self.path, pre_size)
+            raise CheckpointError(
+                f"{self.path}: checkpoint append failed: {exc}"
+            ) from exc
+
+    def _write_line(self, line: str) -> None:
+        self.storage.write_handle(
+            self._handle, (line + "\n").encode(), STORAGE_LAYER, self.path
+        )
 
     def compact(self) -> None:
         """Atomically rewrite the store from its intact records.
@@ -182,7 +221,12 @@ class CheckpointStore:
                     }
                 )
             )
-        atomic_write(self.path, "\n".join(lines) + "\n")
+        atomic_write(
+            self.path,
+            "\n".join(lines) + "\n",
+            layer=STORAGE_LAYER,
+            storage=self.storage,
+        )
 
     def close(self, compact: bool = False) -> None:
         wrote = self._handle is not None

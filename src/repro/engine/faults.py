@@ -14,6 +14,19 @@ can inject faults through a real ``python -m repro report`` invocation:
     REPRO_FAULT="nw:baseline:crash:2"           # first two attempts only
     REPRO_FAULT="nw:*:timeout;gemm:sched:crash" # several cells; any config
 
+The same variable also carries *disk* faults, distinguished by the
+reserved ``disk`` prefix and parsed by
+:func:`repro.engine.storage.parse_disk_spec`:
+
+    REPRO_FAULT="disk:journal:enospc"           # 1st journal write fails
+    REPRO_FAULT="disk:results:torn;nw:*:crash"  # mixed disk + process
+
+Disk specs are *matched and fired* by the storage shim itself (it reads
+the environment directly, so no plumbing is needed); :class:`FaultPlan`
+parses them too so ``to_env``/``parse`` round-trip a mixed plan and a
+malformed disk spec fails fast with a :class:`ConfigError` instead of
+being silently ignored.
+
 Checkpoint corruption is injected directly on the file with
 :func:`corrupt_file` (deterministic byte flip), since it attacks the
 store rather than a running cell.
@@ -25,12 +38,15 @@ import enum
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .errors import ConfigError, LivelockError, SimulationError
-
-#: environment variable the CLI reads fault plans from
-FAULT_ENV_VAR = "REPRO_FAULT"
+from .storage import (  # noqa: F401  (FAULT_ENV_VAR re-exported for callers)
+    DISK_PREFIX,
+    DiskFaultSpec,
+    FAULT_ENV_VAR,
+    parse_disk_spec,
+)
 
 #: config-tag wildcard: the fault fires for every configuration
 ANY_CONFIG = "*"
@@ -70,6 +86,9 @@ class FaultPlan:
     """Deterministic schedule of faults keyed by (benchmark, config-tag)."""
 
     specs: Dict[Tuple[str, str], FaultSpec] = field(default_factory=dict)
+    #: disk faults (fired by the storage shim; carried here for
+    #: round-tripping and validation only)
+    disk: List[DiskFaultSpec] = field(default_factory=list)
 
     def add(
         self, benchmark: str, config_tag: str, kind: FaultKind, times: int = -1
@@ -89,7 +108,7 @@ class FaultPlan:
         return None
 
     def __bool__(self) -> bool:
-        return bool(self.specs)
+        return bool(self.specs) or bool(self.disk)
 
     # ------------------------------------------------------------------ #
     # Environment round-trip (CLI / CI injection)
@@ -101,6 +120,7 @@ class FaultPlan:
             if spec.times >= 0:
                 part += f":{spec.times}"
             parts.append(part)
+        parts.extend(spec.to_part() for spec in self.disk)
         return ";".join(parts)
 
     @classmethod
@@ -112,6 +132,9 @@ class FaultPlan:
             if not part:
                 continue
             fields = part.split(":")
+            if fields[0] == DISK_PREFIX:
+                plan.disk.append(parse_disk_spec(part))
+                continue
             if len(fields) not in (3, 4):
                 raise ConfigError(
                     f"bad fault spec {part!r}; expected "

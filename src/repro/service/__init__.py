@@ -23,6 +23,12 @@ from .breaker import (
     CircuitBreaker,
 )
 from .client import DaemonClient, DaemonUnavailable
+from .crashpoints import (
+    AckFact,
+    CrashPointOutcome,
+    CrashReport,
+    explore,
+)
 from .invariants import check_service_invariants
 from .journal import JOURNAL_NAME, JOURNAL_VERSION, Journal
 from .leases import Lease, LeaseTable
@@ -58,10 +64,13 @@ from .state import (
 )
 
 __all__ = [
+    "AckFact",
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionPolicy",
     "BREAKER_STATES",
+    "CrashPointOutcome",
+    "CrashReport",
     "BreakerPolicy",
     "CANCELLED",
     "CircuitBreaker",
@@ -99,6 +108,7 @@ __all__ = [
     "SweepService",
     "TERMINAL_STATES",
     "check_service_invariants",
+    "explore",
     "idempotency_key",
     "job_id_for",
 ]

@@ -33,6 +33,7 @@ is the fully-reduced queue state.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import zlib
@@ -40,6 +41,10 @@ from typing import Any, Dict, List, Optional
 
 from ..engine.atomic import atomic_write
 from ..engine.errors import JournalError
+from ..engine.storage import Storage, get_storage
+
+#: storage-shim layer tag for every journal filesystem operation
+STORAGE_LAYER = "journal"
 
 JOURNAL_VERSION = 1
 _HEADER_TYPE = "header"
@@ -69,10 +74,17 @@ def _encode(seq: int, rtype: str, payload: Dict[str, Any]) -> str:
 class Journal:
     """Append-only WAL bound to one (scale, seed) sweep service."""
 
-    def __init__(self, path: str, scale: str = "", seed: int = 0) -> None:
+    def __init__(
+        self,
+        path: str,
+        scale: str = "",
+        seed: int = 0,
+        storage: Optional[Storage] = None,
+    ) -> None:
         self.path = path
         self.scale = scale
         self.seed = seed
+        self.storage = storage if storage is not None else get_storage()
         self._handle = None
         #: seq of the last durable record; None until opened/replayed
         self._seq: Optional[int] = None
@@ -101,10 +113,11 @@ class Journal:
         was created with instead of requiring the caller to repeat them.
         """
         try:
-            with open(path) as handle:
-                record = json.loads(handle.readline())
+            blob = get_storage().read_bytes(path, STORAGE_LAYER)
+            line = blob.split(b"\n", 1)[0].decode("utf-8")
+            record = json.loads(line)
             payload = record.get("payload", {})
-        except (OSError, ValueError, AttributeError):
+        except (OSError, ValueError, AttributeError, UnicodeDecodeError):
             return None
         if payload.get("kind") != _HEADER_KIND:
             return None
@@ -124,8 +137,7 @@ class Journal:
             self._seq = None
             return []
         try:
-            with open(self.path, "rb") as handle:
-                blob = handle.read()
+            blob = self.storage.read_bytes(self.path, STORAGE_LAYER)
         except OSError as exc:
             # an unreadable log (permissions, I/O error) is in the same
             # trust bucket as a corrupt one: taxonomy error, exit 12
@@ -167,7 +179,7 @@ class Journal:
         if last_seq is None:
             # the only line is a torn header append: the journal was
             # never durably created — recover as a fresh, empty log
-            os.remove(self.path)
+            self.storage.remove(self.path, STORAGE_LAYER)
             self._seq = None
             return []
         if intact_bytes < len(blob):
@@ -244,14 +256,12 @@ class Journal:
         if directory:
             os.makedirs(directory, exist_ok=True)
         if self._torn_tail is not None:
-            os.truncate(self.path, self._torn_tail)
+            self.storage.truncate(self.path, self._torn_tail, STORAGE_LAYER)
             self._torn_tail = None
-        self._handle = open(self.path, "a")
+        self._handle = self.storage.open_append(self.path, STORAGE_LAYER)
         if self._seq is None:
             self._seq = 1
-            self._handle.write(
-                _encode(1, _HEADER_TYPE, self._header_payload()) + "\n"
-            )
+            self._write_line(_encode(1, _HEADER_TYPE, self._header_payload()))
             self._flush()
 
     def append(self, rtype: str, payload: Dict[str, Any]) -> int:
@@ -259,17 +269,45 @@ class Journal:
 
         The record is flushed and fsynced before this returns — callers
         apply the state transition only *after* it is on disk (that is
-        the "write-ahead" in write-ahead log).
+        the "write-ahead" in write-ahead log).  A storage failure
+        (ENOSPC, failed fsync, torn write) surfaces as
+        :class:`JournalError`: a WAL that cannot persist a record must
+        refuse the transition, not half-apply it.  The file is rolled
+        back to its pre-append size so a torn partial line can never be
+        glued to the next record.
         """
-        self._ensure_open()
+        try:
+            self._ensure_open()
+        except OSError as exc:
+            raise JournalError(
+                f"{self.path}: journal open failed: {exc}"
+            ) from exc
         self._seq += 1
-        self._handle.write(_encode(self._seq, rtype, payload) + "\n")
-        self._flush()
+        pre_size = self._handle.tell()
+        try:
+            self._write_line(_encode(self._seq, rtype, payload))
+            self._flush()
+        except OSError as exc:
+            self._seq -= 1
+            self.close()
+            # drop any torn partial line (a failed fsync already
+            # truncated to the durable watermark == pre_size; never
+            # extend the file, truncate only shrinks it)
+            with contextlib.suppress(OSError):
+                if os.path.getsize(self.path) > pre_size:
+                    os.truncate(self.path, pre_size)
+            raise JournalError(
+                f"{self.path}: journal append failed ({rtype}): {exc}"
+            ) from exc
         return self._seq
 
+    def _write_line(self, line: str) -> None:
+        self.storage.write_handle(
+            self._handle, (line + "\n").encode(), STORAGE_LAYER, self.path
+        )
+
     def _flush(self) -> None:
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self.storage.fsync_handle(self._handle, STORAGE_LAYER, self.path)
 
     def compact(self, snapshot_payload: Dict[str, Any]) -> None:
         """Atomically rewrite the log as ``header + snapshot``.
@@ -281,14 +319,26 @@ class Journal:
         continues from the pre-compaction tail so seq stays monotonic
         across the rewrite.
         """
-        self._ensure_open()
-        base = self._seq
-        self.close()
-        lines = [
-            _encode(base + 1, _HEADER_TYPE, self._header_payload()),
-            _encode(base + 2, "snapshot", snapshot_payload),
-        ]
-        atomic_write(self.path, "\n".join(lines) + "\n")
+        try:
+            self._ensure_open()
+            base = self._seq
+            self.close()
+            lines = [
+                _encode(base + 1, _HEADER_TYPE, self._header_payload()),
+                _encode(base + 2, "snapshot", snapshot_payload),
+            ]
+            atomic_write(
+                self.path,
+                "\n".join(lines) + "\n",
+                layer=STORAGE_LAYER,
+                storage=self.storage,
+            )
+        except OSError as exc:
+            # the rewrite is atomic: on any storage failure the old log
+            # is still intact and fully authoritative
+            raise JournalError(
+                f"{self.path}: journal compaction failed: {exc}"
+            ) from exc
         self._torn_tail = None
         self._seq = base + 2
 

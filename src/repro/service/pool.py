@@ -39,6 +39,7 @@ from ..engine.errors import (
 )
 from ..engine.faults import FaultPlan
 from ..engine.stats import StatRegistry
+from ..engine.storage import Storage, get_storage
 from ..engine.supervision import CellSpec, RetryPolicy, Supervisor
 from ..engine.interrupt import GracefulInterrupt
 from ..telemetry import RunManifest, config_hash
@@ -141,6 +142,7 @@ class SweepService:
         clock: Callable[[], float] = time.monotonic,
         policy: Optional[SchedulingPolicy] = None,
         wall_clock: Callable[[], float] = time.time,
+        storage: Optional[Storage] = None,
     ) -> None:
         self.directory = directory
         self.scale = scale
@@ -155,9 +157,16 @@ class SweepService:
         self.compact_after = compact_after
         self.lease_ttl = lease_ttl
         self.clock = clock
+        #: injectable filesystem shim: every durable byte this service
+        #: writes (journal, result cache, manifests via atomic_write)
+        #: goes through it, so disk faults and crash points are testable
+        self.storage = storage if storage is not None else get_storage()
         os.makedirs(directory, exist_ok=True)
         self.journal = Journal(
-            os.path.join(directory, JOURNAL_NAME), scale=scale, seed=seed
+            os.path.join(directory, JOURNAL_NAME),
+            scale=scale,
+            seed=seed,
+            storage=self.storage,
         )
         self.state = QueueState()
         self.leases = LeaseTable(ttl=lease_ttl, clock=clock)
@@ -170,7 +179,12 @@ class SweepService:
         self.incarnation = f"serve-{os.getpid()}"
         self.policy = policy if policy is not None else SchedulingPolicy()
         self.wall_clock = wall_clock
-        self.results = ResultCache(os.path.join(directory, RESULTS_DIR))
+        self.results = ResultCache(
+            os.path.join(directory, RESULTS_DIR), storage=self.storage
+        )
+        #: journal records appended since the last snapshot compaction
+        #: (storage-health observability for ``repro status``)
+        self._records_since_snapshot = 0
         #: job_ids a client asked to cancel while LEASED/RUNNING; the
         #: heartbeat preempts them, then the pool journals the cancel
         self._cancel_requested: "set[str]" = set()
@@ -194,6 +208,10 @@ class SweepService:
         rtype = record["type"]
         payload = record["payload"]
         self.state.apply(record)
+        if rtype == "snapshot":
+            self._records_since_snapshot = 0
+        else:
+            self._records_since_snapshot += 1
         # mirror the journal's counters into the telemetry registry
         if rtype == "submit":
             self.stats.counter("queued").inc()
@@ -469,6 +487,7 @@ class SweepService:
                 {w: b.to_payload() for w, b in self.breakers.items()}
             )
         )
+        self._records_since_snapshot = 0
         return True
 
     def _shutdown(self, interrupt: Optional[GracefulInterrupt]) -> None:
@@ -575,7 +594,7 @@ class SweepService:
             sanitize=self.sanitize,
         )
         try:
-            result = supervisor.run_cell(spec)
+            result = self._execute_cell(supervisor, spec)
         except PreemptRequest as request:
             # preemption-safe requeue: the same journaled arrow crash
             # recovery uses, attempts preserved — then the cancel, if
@@ -626,6 +645,19 @@ class SweepService:
                 seed=self.seed,
             )
         self._write_job_manifest(done)
+
+    def _execute_cell(
+        self, supervisor: Supervisor, spec: CellSpec
+    ) -> Dict[str, Any]:
+        """Run one leased cell to completion (the only compute seam).
+
+        Every journaled transition surrounds this call; overriding it
+        is how the crash-point explorer
+        (:mod:`repro.service.crashpoints`) substitutes deterministic
+        canned results so a scripted session exercises the full
+        journal/cache/lease protocol without simulating anything.
+        """
+        return supervisor.run_cell(spec)
 
     def _heartbeat(self, job: Job, started_wall: float) -> None:
         """Per-slice liveness hook while ``job``'s worker runs.
@@ -737,6 +769,15 @@ class SweepService:
             for name, value in self.state.counters.items()
         )
         lines.append(f"counters         {counters}")
+        try:
+            journal_bytes = os.path.getsize(self.journal.path)
+        except OSError:
+            journal_bytes = 0
+        lines.append(
+            f"storage          journal={journal_bytes}B "
+            f"records_since_compaction={self._records_since_snapshot} "
+            f"cached_results={len(self.results)}"
+        )
         return lines
 
     def golden_gate(self, path: str) -> "tuple[bool, List[str]]":

@@ -26,11 +26,13 @@ way rather than served or trusted.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from typing import Any, Dict, Optional
 
 from ..engine.atomic import atomic_write
+from ..engine.storage import Storage, get_storage
 
 CACHE_KIND = "repro-result"
 CACHE_VERSION = 1
@@ -38,17 +40,27 @@ CACHE_VERSION = 1
 #: cache directory name inside a service directory
 RESULTS_DIR = "results"
 
+#: storage-shim layer tag for every result-cache filesystem operation
+STORAGE_LAYER = "results"
+
 
 class ResultCache:
     """Content-addressed, crash-safe store of completed cell results."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self, directory: str, storage: Optional[Storage] = None
+    ) -> None:
         self.directory = directory
+        self.storage = storage if storage is not None else get_storage()
         #: served-from-cache / stored / invalid-entry tallies (process-
         #: local observability; durable truth is the files themselves)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: writes that failed on a storage error (ENOSPC, torn write);
+        #: the cache is an optimization, so a failed store is counted
+        #: and tolerated — the journal's DONE record stays authoritative
+        self.store_failures = 0
 
     def path_for(self, key: str) -> str:
         if (
@@ -76,14 +88,14 @@ class ResultCache:
         """The exact stored bytes for ``key`` (byte-identity checks)."""
         if self._load(key) is None:
             return None
-        with open(self.path_for(key), "rb") as handle:
-            return handle.read()
+        return self.storage.read_bytes(self.path_for(key), STORAGE_LAYER)
 
     def _load(self, key: str) -> Optional[Dict[str, Any]]:
         path = self.path_for(key)
         try:
-            with open(path, "rb") as handle:
-                entry = json.loads(handle.read().decode("utf-8"))
+            entry = json.loads(
+                self.storage.read_bytes(path, STORAGE_LAYER).decode("utf-8")
+            )
         except FileNotFoundError:
             return None
         except (OSError, ValueError, UnicodeDecodeError):
@@ -100,17 +112,14 @@ class ResultCache:
             return None
         return entry
 
-    @staticmethod
-    def _quarantine(path: str) -> None:
+    def _quarantine(self, path: str) -> None:
         """Move an invalid entry aside so it reads as a miss forever.
 
         Renaming (not deleting) keeps the evidence for debugging while
         guaranteeing the poisoned bytes are never served.
         """
-        try:
-            os.replace(path, path + ".invalid")
-        except OSError:
-            pass
+        with contextlib.suppress(OSError):
+            self.storage.replace(path, path + ".invalid", STORAGE_LAYER)
 
     # ------------------------------------------------------------------ #
     # Writes
@@ -134,6 +143,13 @@ class ResultCache:
         simulation, so the first durable write is kept and later ones
         are no-ops — a restarted daemon re-finishing a reclaimed job
         cannot flap the stored bytes.
+
+        Best-effort under storage failure: a write the disk refuses
+        (ENOSPC, torn write, failed fsync) is counted in
+        ``store_failures`` and swallowed — the atomic-write discipline
+        guarantees no partial entry became visible, the journal's DONE
+        record remains the durable truth, and a later request for the
+        same key simply re-serves from the journal state.
         """
         path = self.path_for(key)
         if os.path.exists(path):
@@ -151,7 +167,13 @@ class ResultCache:
             "result": result,
         }
         blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        atomic_write(path, blob)
+        try:
+            atomic_write(
+                path, blob, layer=STORAGE_LAYER, storage=self.storage
+            )
+        except OSError:
+            self.store_failures += 1
+            return path
         self.stores += 1
         return path
 
@@ -171,4 +193,5 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "store_failures": self.store_failures,
         }

@@ -131,12 +131,15 @@ class RunManifest:
         from ..engine.atomic import atomic_write
 
         payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
-        return atomic_write(path, payload + "\n")
+        return atomic_write(path, payload + "\n", layer="manifest")
 
     @classmethod
     def load(cls, path: str) -> "RunManifest":
-        with open(path) as handle:
-            payload = json.load(handle)
+        from ..engine.storage import get_storage
+
+        payload = json.loads(
+            get_storage().read_bytes(path, "manifest").decode("utf-8")
+        )
         if payload.get("kind") != _MANIFEST_KIND:
             raise ValueError(f"{path}: not a repro manifest")
         if payload.get("version") != MANIFEST_VERSION:

@@ -62,3 +62,56 @@ def test_atomic_path_failure_before_any_write(tmp_path):
         with atomic_path(str(path)):
             raise ValueError("nothing written")
     assert os.listdir(tmp_path) == []
+
+
+# --------------------------------------------------------------------- #
+# Disk faults through the storage shim: failed writes must never strand
+# temp files or touch the destination
+# --------------------------------------------------------------------- #
+def _faulted_storage(kind, layer="atomic"):
+    from repro.engine.storage import DiskFaultKind, DiskFaultSpec, Storage
+
+    return Storage(faults=[DiskFaultSpec(layer, DiskFaultKind(kind))])
+
+
+@pytest.mark.parametrize("kind", ["enospc", "torn", "fsync"])
+def test_injected_fault_leaves_no_strandings(tmp_path, kind):
+    path = tmp_path / "out.json"
+    path.write_text("original")
+    with pytest.raises(OSError):
+        atomic_write(str(path), "replacement", storage=_faulted_storage(kind))
+    # the destination is untouched and no temp artifact survives
+    assert path.read_text() == "original"
+    assert os.listdir(tmp_path) == ["out.json"]
+
+
+def test_injected_fault_with_no_preexisting_file(tmp_path):
+    path = tmp_path / "fresh.json"
+    with pytest.raises(OSError):
+        atomic_write(str(path), "data", storage=_faulted_storage("torn"))
+    assert os.listdir(tmp_path) == []
+
+
+def test_cleanup_sweeps_writer_derived_siblings(tmp_path):
+    """A path-writing library handed the temp name may create a sibling
+    under a name it chose itself (np.savez appends ``.npz``); a failed
+    write must sweep those too, not just the exact temp path."""
+    path = tmp_path / "cache"  # no extension: tmp name is "cache.tmp"
+    with pytest.raises(RuntimeError):
+        with atomic_path(str(path)) as tmp:
+            with open(tmp + ".npz", "w") as handle:  # savez-style name
+                handle.write("derived")
+            with open(tmp, "w") as handle:
+                handle.write("payload")
+            raise RuntimeError("writer died after creating a sibling")
+    assert os.listdir(tmp_path) == []
+
+
+def test_atomic_write_routes_through_given_storage(tmp_path):
+    from repro.engine.storage import Storage
+
+    ops = []
+    store = Storage(record=ops.append)
+    atomic_write(str(tmp_path / "x.json"), "data", storage=store)
+    kinds = [op.kind for op in ops]
+    assert kinds == ["write", "fsync", "rename", "fsync_dir"]

@@ -98,3 +98,32 @@ class TestCorruptFile:
         path.write_bytes(b"")
         with pytest.raises(ValueError):
             corrupt_file(str(path))
+
+
+class TestDiskSpecsInPlan:
+    def test_parse_mixed_process_and_disk(self):
+        from repro.engine.storage import DiskFaultKind
+
+        plan = FaultPlan.parse(
+            "bfs:baseline:livelock;disk:journal:enospc;disk:results:torn:3"
+        )
+        assert plan.specs[("bfs", "baseline")].kind is FaultKind.LIVELOCK
+        assert [(s.layer, s.kind, s.nth) for s in plan.disk] == [
+            ("journal", DiskFaultKind.ENOSPC, 1),
+            ("results", DiskFaultKind.TORN, 3),
+        ]
+
+    def test_round_trip_preserves_disk_specs(self):
+        plan = FaultPlan.parse("disk:*:fsync:2;nw:*:crash")
+        back = FaultPlan.parse(plan.to_env())
+        assert back.specs == plan.specs
+        assert back.disk == plan.disk
+
+    def test_disk_only_plan_is_truthy(self):
+        assert FaultPlan.parse("disk:journal:eio")
+
+    def test_bad_disk_spec_rejected(self):
+        with pytest.raises(ValueError, match="disk fault"):
+            FaultPlan.parse("disk:journal:meltdown")
+        with pytest.raises(ValueError, match="expected"):
+            FaultPlan.parse("disk:journal")

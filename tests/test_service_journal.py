@@ -187,3 +187,30 @@ def test_peek_header_missing_or_foreign(tmp_path):
     path = tmp_path / "other.jsonl"
     path.write_text('{"kind": "something-else"}\n')
     assert Journal.peek_header(str(path)) is None
+
+
+def test_truncation_at_every_byte_of_final_record(tmp_path):
+    """Property: tearing the final append at ANY byte boundary is
+    equivalent to the append never happening — replay yields exactly
+    the records before it, and the journal stays appendable."""
+    journal = make_journal(tmp_path)
+    journal.append("submit", {"job": {"job_id": "a"}})
+    journal.append("lease", {"job_id": "a"})
+    journal.close()
+    path = tmp_path / "journal.jsonl"
+    blob = path.read_bytes()
+    intact = blob[: blob.rindex(b'{"crc"')]  # start of the final record
+
+    for cut in range(len(intact), len(blob)):
+        path.write_bytes(blob[:cut])
+        replayed = make_journal(tmp_path).replay()
+        expected = ["submit"] if cut < len(blob) else ["submit", "lease"]
+        assert [r["type"] for r in replayed] == expected, f"cut at {cut}"
+        # and the torn tail never blocks the next append
+        reopened = make_journal(tmp_path)
+        reopened.replay()
+        reopened.append("retry", {"job_id": "a", "attempt": 1,
+                                  "error_class": "transient"})
+        reopened.close()
+        final = make_journal(tmp_path).replay()
+        assert [r["type"] for r in final] == expected + ["retry"]

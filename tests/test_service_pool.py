@@ -587,3 +587,28 @@ def test_done_job_writes_result_cache_entry(tmp_path):
     assert entry is not None
     assert entry["job_id"] == "nw:baseline"
     assert entry["result"] == service.state.jobs["nw:baseline"].result
+
+
+def test_status_lines_report_storage_health(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    service.run()
+    service.close()
+    storage_line = next(
+        line for line in service.status_lines()
+        if line.startswith("storage")
+    )
+    # journal bytes are real, the append counter tracks the log, and
+    # the finished cell's result landed in the content-addressed cache
+    assert "journal=0B" not in storage_line
+    assert "records_since_compaction=" in storage_line
+    assert "cached_results=1" in storage_line
+
+
+def test_records_since_compaction_resets_on_snapshot(tmp_path):
+    service = make_service(tmp_path)
+    service.submit("nw", "baseline")
+    before = service._records_since_snapshot
+    assert before > 0
+    assert service.compact_now(force=True)
+    assert service._records_since_snapshot == 0
