@@ -25,7 +25,12 @@ Disk specs are *matched and fired* by the storage shim itself (it reads
 the environment directly, so no plumbing is needed); :class:`FaultPlan`
 parses them too so ``to_env``/``parse`` round-trip a mixed plan and a
 malformed disk spec fails fast with a :class:`ConfigError` instead of
-being silently ignored.
+being silently ignored.  The reserved ``net`` prefix works the same
+way for network faults — matched and fired by the protocol shim
+(:mod:`repro.service.protocol`), carried here for round-tripping::
+
+    REPRO_FAULT="net:server:drop"               # 1st request lost
+    REPRO_FAULT="net:worker.heartbeat:drop:*"   # partition a worker
 
 Checkpoint corruption is injected directly on the file with
 :func:`corrupt_file` (deterministic byte flip), since it attacks the
@@ -38,7 +43,7 @@ import enum
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from .errors import ConfigError, LivelockError, SimulationError
 from .storage import (  # noqa: F401  (FAULT_ENV_VAR re-exported for callers)
@@ -47,6 +52,12 @@ from .storage import (  # noqa: F401  (FAULT_ENV_VAR re-exported for callers)
     FAULT_ENV_VAR,
     parse_disk_spec,
 )
+
+if TYPE_CHECKING:  # imported lazily at parse time to avoid an import cycle
+    from ..service.protocol import NetFaultSpec
+
+#: reserved prefix for network faults (parsed by repro.service.protocol)
+NET_PREFIX = "net"
 
 #: config-tag wildcard: the fault fires for every configuration
 ANY_CONFIG = "*"
@@ -67,6 +78,17 @@ class FaultKind(enum.Enum):
     SANITIZER = "sanitizer"
     #: raise a generic SimulationError (non-transient, not retried)
     ERROR = "error"
+    #: sleep a bounded time, then run the cell *normally* — a slow
+    #: worker, not a dead one.  The optional 4th grammar field is the
+    #: stall in seconds (default ``STALL_SECONDS``), reinterpreting the
+    #: ``times`` slot; a stall applies on every attempt.  This is how
+    #: fleet chaos tests manufacture a zombie: the worker outlives the
+    #: failure detector, wakes up, and tries to commit a stale lease.
+    STALL = "stall"
+
+
+#: default sleep for an injected ``stall`` fault
+STALL_SECONDS = 5.0
 
 
 @dataclass(frozen=True)
@@ -78,7 +100,15 @@ class FaultSpec:
     times: int = -1
 
     def applies(self, attempt: int) -> bool:
+        if self.kind is FaultKind.STALL:
+            # `times` is the stall duration, not an attempt budget
+            return True
         return self.times < 0 or attempt < self.times
+
+    @property
+    def stall_seconds(self) -> float:
+        """Sleep duration for a STALL fault (``times`` reinterpreted)."""
+        return float(self.times) if self.times > 0 else STALL_SECONDS
 
 
 @dataclass
@@ -89,6 +119,9 @@ class FaultPlan:
     #: disk faults (fired by the storage shim; carried here for
     #: round-tripping and validation only)
     disk: List[DiskFaultSpec] = field(default_factory=list)
+    #: network faults (fired by the protocol shim; carried here for
+    #: round-tripping and validation only)
+    net: List["NetFaultSpec"] = field(default_factory=list)
 
     def add(
         self, benchmark: str, config_tag: str, kind: FaultKind, times: int = -1
@@ -108,7 +141,7 @@ class FaultPlan:
         return None
 
     def __bool__(self) -> bool:
-        return bool(self.specs) or bool(self.disk)
+        return bool(self.specs) or bool(self.disk) or bool(self.net)
 
     # ------------------------------------------------------------------ #
     # Environment round-trip (CLI / CI injection)
@@ -121,6 +154,7 @@ class FaultPlan:
                 part += f":{spec.times}"
             parts.append(part)
         parts.extend(spec.to_part() for spec in self.disk)
+        parts.extend(spec.to_part() for spec in self.net)
         return ";".join(parts)
 
     @classmethod
@@ -134,6 +168,12 @@ class FaultPlan:
             fields = part.split(":")
             if fields[0] == DISK_PREFIX:
                 plan.disk.append(parse_disk_spec(part))
+                continue
+            if fields[0] == NET_PREFIX:
+                # deferred import: repro.service imports this module
+                from ..service.protocol import parse_net_spec
+
+                plan.net.append(parse_net_spec(part))
                 continue
             if len(fields) not in (3, 4):
                 raise ConfigError(
@@ -170,6 +210,10 @@ class FaultPlan:
 
 def trigger(spec: FaultSpec) -> None:
     """Execute an injected fault (called inside the worker body)."""
+    if spec.kind is FaultKind.STALL:
+        # Slow, not dead: sleep, then let the cell run normally.
+        time.sleep(spec.stall_seconds)
+        return
     if spec.kind is FaultKind.CRASH:
         # Bypass Python teardown entirely so no error message escapes —
         # exactly what an OOM-killed or SIGKILLed worker looks like.

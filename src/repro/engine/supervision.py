@@ -339,13 +339,19 @@ class Supervisor:
         With a ``heartbeat`` installed, the wait is sliced so the
         callback runs every ``heartbeat_interval`` seconds — the service
         renews the job's lease there, proving the supervising process is
-        alive without journal traffic proportional to cell runtime.
+        alive without journal traffic proportional to cell runtime.  The
+        wait *leads* with one heartbeat, so even a cell that finishes
+        inside the first interval proves liveness (and observes a
+        pending cancel/preempt/abort decision) at least once per
+        attempt — remote workers rely on this to keep their fleet
+        registration fresh while chewing through short cells.
         """
         if self.heartbeat is None:
             return parent_conn.poll(self.timeout)
         deadline = (
             None if self.timeout is None else self.clock() + self.timeout
         )
+        self.heartbeat()
         while True:
             wait = self.heartbeat_interval
             if deadline is not None:

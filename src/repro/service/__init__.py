@@ -44,7 +44,13 @@ from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     SOCKET_NAME,
+    NetFaultKind,
+    NetFaults,
+    NetFaultSpec,
+    get_net_faults,
     idempotency_key,
+    parse_net_spec,
+    set_net_faults,
 )
 from .results import RESULTS_DIR, ResultCache
 from .server import SweepDaemon
@@ -59,9 +65,16 @@ from .state import (
     RUNNING,
     SUBMITTED,
     TERMINAL_STATES,
+    WORKER_ALIVE,
+    WORKER_DEAD,
+    WORKER_LEFT,
+    WORKER_STATES,
+    WORKER_SUSPECT,
     Job,
     QueueState,
+    WorkerRecord,
 )
+from .workers import RemoteWorker, WorkerAbort, WorkerFleet
 
 __all__ = [
     "AckFact",
@@ -91,6 +104,9 @@ __all__ = [
     "LeaseTable",
     "MAX_FRAME_BYTES",
     "NON_WORKLOAD_FAILURES",
+    "NetFaultKind",
+    "NetFaultSpec",
+    "NetFaults",
     "OPEN",
     "PIDFILE_NAME",
     "PolicyConfig",
@@ -99,6 +115,7 @@ __all__ = [
     "QUARANTINED",
     "QueueState",
     "RESULTS_DIR",
+    "RemoteWorker",
     "ResultCache",
     "RUNNING",
     "SchedulingPolicy",
@@ -107,8 +124,19 @@ __all__ = [
     "SweepDaemon",
     "SweepService",
     "TERMINAL_STATES",
+    "WORKER_ALIVE",
+    "WORKER_DEAD",
+    "WORKER_LEFT",
+    "WORKER_STATES",
+    "WORKER_SUSPECT",
+    "WorkerAbort",
+    "WorkerFleet",
+    "WorkerRecord",
     "check_service_invariants",
     "explore",
+    "get_net_faults",
     "idempotency_key",
     "job_id_for",
+    "parse_net_spec",
+    "set_net_faults",
 ]

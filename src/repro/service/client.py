@@ -16,7 +16,18 @@ end-to-end failure semantics:
   hint is slept *before* the next attempt, so shedding actually sheds;
 * **deadlines propagate** — the requested deadline rides the submit
   frame and becomes the job's absolute deadline on the server, carried
-  through queue and worker lease.
+  through queue and worker lease;
+* **deadline-capped backoff** — a ``deadline=`` on :meth:`request`
+  bounds the *cumulative* retry sleep: each standoff is clamped to the
+  remaining budget and an exhausted budget raises
+  :class:`~repro.engine.errors.DeadlineError` instead of sleeping past
+  the point where the answer could still matter;
+* **duplicate-safe exchanges** — every request is stamped with a
+  monotonically increasing ``rq`` number the server echoes; a response
+  carrying a stale ``rq`` (a duplicated or reordered frame injected by
+  the ``net:`` chaos shim, or a late response from an abandoned
+  attempt) is discarded, so frame duplication can never desynchronise
+  the strict request/response stream.
 """
 
 from __future__ import annotations
@@ -75,10 +86,15 @@ class DaemonClient:
             identity if identity is not None else f"client-{os.getpid()}"
         )
         self.sleep = sleep
+        #: which end of the wire we are for the ``net:`` fault shim
+        #: (RemoteWorker flips this to "worker" so worker-side faults
+        #: can be injected without touching client traffic)
+        self.side = "client"
         self._sock: Optional[socket.socket] = None
-        #: monotonically increasing per-client request counter, part of
-        #: the jitter token so two requests back off on distinct
-        #: (still deterministic) schedules
+        #: monotonically increasing per-client request counter: the
+        #: ``rq`` stamp echoed by the server (stale-response discard)
+        #: and part of the jitter token so two requests back off on
+        #: distinct (still deterministic) schedules
         self._request_no = 0
 
     # ------------------------------------------------------------------ #
@@ -120,7 +136,12 @@ class DaemonClient:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def request(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    def request(
+        self,
+        body: Dict[str, Any],
+        deadline: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """One request/response exchange, retried until the budget runs
         out.
 
@@ -129,24 +150,45 @@ class DaemonClient:
         is idempotent by key.  Load-shed errors honour the server's
         ``retry_after`` hint.  A response with any other ``ok: false``
         error is raised as its taxonomy error.
+
+        ``deadline`` (relative seconds) caps the cumulative standoff:
+        every pre-attempt sleep — jittered backoff *or* honoured
+        retry-after — is clamped to the remaining budget, and when the
+        budget is spent before the next attempt could start, a
+        :class:`~repro.engine.errors.DeadlineError` is raised instead
+        of sleeping uselessly past it.
         """
         self._request_no += 1
+        rq = self._request_no
+        body = dict(body)
+        body["rq"] = rq
+        budget = max_attempts if max_attempts is not None else (
+            self.max_attempts
+        )
+        started = time.monotonic()
         last_failure = "never attempted"
         shed_hint = 0.0
-        for attempt in range(self.max_attempts):
+        for attempt in range(budget):
             if attempt:
                 # a honoured retry-after REPLACES the backoff for this
                 # retry — exactly one standoff per attempt, never both
-                if shed_hint:
-                    self.sleep(shed_hint)
-                else:
-                    self.sleep(self.backoff(attempt - 1))
+                standoff = shed_hint or self.backoff(attempt - 1)
+                if deadline is not None:
+                    remaining = deadline - (time.monotonic() - started)
+                    if remaining <= 0:
+                        raise DeadlineError(
+                            f"request {body.get('op')!r} ran out of its "
+                            f"{deadline:g}s deadline after {attempt} "
+                            f"attempts (last: {last_failure})"
+                        )
+                    standoff = min(standoff, remaining)
+                self.sleep(standoff)
             shed_hint = 0.0
             try:
                 if self._sock is None:
                     self._sock = self._connect()
-                send_frame(self._sock, body)
-                response = recv_frame(self._sock, timeout=self.timeout)
+                send_frame(self._sock, body, side=self.side)
+                response = self._recv_matching(rq)
             except (OSError, ProtocolError) as exc:
                 # covers ConnectionRefused/Reset, socket.timeout, EOF
                 # mid-frame — reconnect and retry the same request
@@ -157,7 +199,7 @@ class DaemonClient:
                 return response
             error = response.get("error", "protocol")
             message = response.get("message", "daemon refused the request")
-            if error in RETRYABLE_ERRORS and attempt < self.max_attempts - 1:
+            if error in RETRYABLE_ERRORS and attempt < budget - 1:
                 shed_hint = float(response.get("retry_after", 0.0) or 0.0)
                 last_failure = f"shed: {message}"
                 continue
@@ -168,8 +210,29 @@ class DaemonClient:
             raise exc
         raise DaemonUnavailable(
             f"daemon at {self.socket_path!r} unreachable after "
-            f"{self.max_attempts} attempts (last: {last_failure})"
+            f"{budget} attempts (last: {last_failure})"
         )
+
+    def _recv_matching(self, rq: int) -> Dict[str, Any]:
+        """Read responses until one answers *this* request.
+
+        The server echoes the request's ``rq`` stamp.  A response
+        carrying an older stamp is a leftover — a duplicated frame from
+        the ``net:`` shim, or the answer to an attempt we abandoned
+        after a timeout — and is discarded, not delivered.  Responses
+        without a stamp are accepted as-is (pre-stamp servers).
+        """
+        while True:
+            response = recv_frame(self._sock, timeout=self.timeout)
+            echoed = response.get("rq")
+            if echoed is None or echoed == rq:
+                return response
+            if isinstance(echoed, int) and echoed > rq:
+                raise ProtocolError(
+                    f"response rq {echoed} from the future "
+                    f"(awaiting {rq}); stream corrupt"
+                )
+            # stale: drop it and keep reading
 
     # ------------------------------------------------------------------ #
     # Operations
@@ -211,6 +274,29 @@ class DaemonClient:
 
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"op": "shutdown"})
+
+    # -- fleet operations (used by RemoteWorker) ----------------------- #
+    def register(self, capabilities: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request(
+            {"op": "register", "capabilities": capabilities}
+        )
+
+    def lease_cell(self, worker_id: str) -> Dict[str, Any]:
+        return self.request({"op": "lease", "worker_id": worker_id})
+
+    def worker_heartbeat(
+        self, worker_id: str, jobs: Optional[list] = None
+    ) -> Dict[str, Any]:
+        # liveness signal: one shot, never retried — a missed beat must
+        # cost nothing, and the next beat supersedes it anyway
+        return self.request(
+            {"op": "heartbeat", "worker_id": worker_id,
+             "jobs": list(jobs or [])},
+            max_attempts=1,
+        )
+
+    def deregister(self, worker_id: str) -> Dict[str, Any]:
+        return self.request({"op": "deregister", "worker_id": worker_id})
 
     def wait(
         self,
@@ -263,14 +349,19 @@ class DaemonClient:
                     f"{deadline:g}s (state {response.get('state')!r}); "
                     f"the job is still queued server-side"
                 )
-            self.sleep(
-                min(
-                    poll_cap,
-                    poll_base
-                    * (self.backoff_factor ** min(poll, 8))
-                    * (1.0 + self.jitter * self.jitter_u(poll)),
-                )
+            standoff = min(
+                poll_cap,
+                poll_base
+                * (self.backoff_factor ** min(poll, 8))
+                * (1.0 + self.jitter * self.jitter_u(poll)),
             )
+            if deadline is not None:
+                # never sleep past the wait deadline: the next poll
+                # happens while the answer can still matter
+                standoff = min(
+                    standoff, max(0.0, deadline - (clock() - started))
+                )
+            self.sleep(standoff)
             poll += 1
 
 

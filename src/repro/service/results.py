@@ -22,6 +22,14 @@ either no entry or a complete one, never a torn file.  An entry that
 fails validation on read (truncated by external interference, foreign
 kind, key mismatch) is treated as a miss and quarantined out of the
 way rather than served or trusted.
+
+With ``max_bytes`` set, the cache is *bounded*: after each store, the
+least-recently-used entries (mtime order; reads touch it) are evicted
+until the budget holds, so a long-lived daemon cannot grow disk without
+limit.  Unbounded (the default) behaves exactly as before.  Writes can
+also be *fenced*: a put presenting a stale fencing token is counted in
+``fenced_writes`` and discarded — the cache-level backstop of the
+fleet's zombie-commit gate.
 """
 
 from __future__ import annotations
@@ -48,10 +56,15 @@ class ResultCache:
     """Content-addressed, crash-safe store of completed cell results."""
 
     def __init__(
-        self, directory: str, storage: Optional[Storage] = None
+        self,
+        directory: str,
+        storage: Optional[Storage] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         self.directory = directory
         self.storage = storage if storage is not None else get_storage()
+        #: LRU byte budget (None = unbounded, the historical behavior)
+        self.max_bytes = max_bytes
         #: served-from-cache / stored / invalid-entry tallies (process-
         #: local observability; durable truth is the files themselves)
         self.hits = 0
@@ -61,6 +74,10 @@ class ResultCache:
         #: the cache is an optimization, so a failed store is counted
         #: and tolerated — the journal's DONE record stays authoritative
         self.store_failures = 0
+        #: entries evicted to hold the byte budget
+        self.evictions = 0
+        #: stores refused because they presented a stale fencing token
+        self.fenced_writes = 0
 
     def path_for(self, key: str) -> str:
         if (
@@ -82,7 +99,19 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(key)
         return entry
+
+    def _touch(self, key: str) -> None:
+        """Mark ``key`` recently used (mtime is the LRU clock).
+
+        Only bounded caches pay for the extra syscall; an unbounded
+        cache never evicts, so recency is irrelevant there.
+        """
+        if self.max_bytes is None:
+            return
+        with contextlib.suppress(OSError):
+            os.utime(self.path_for(key))
 
     def get_bytes(self, key: str) -> Optional[bytes]:
         """The exact stored bytes for ``key`` (byte-identity checks)."""
@@ -135,6 +164,8 @@ class ResultCache:
         config_hash: str = "",
         scale: str = "",
         seed: int = 0,
+        fence: Optional[int] = None,
+        fence_expected: Optional[int] = None,
     ) -> str:
         """Store one completed cell; idempotent (first write wins).
 
@@ -150,8 +181,21 @@ class ResultCache:
         guarantees no partial entry became visible, the journal's DONE
         record remains the durable truth, and a later request for the
         same key simply re-serves from the journal state.
+
+        When both ``fence`` and ``fence_expected`` are given, a
+        mismatch means the write comes from a stale ownership
+        generation (a zombie worker): it is counted in
+        ``fenced_writes`` and never touches disk.  (The fleet answers
+        the zombie *before* calling put; this is defense in depth.)
         """
         path = self.path_for(key)
+        if (
+            fence is not None
+            and fence_expected is not None
+            and fence != fence_expected
+        ):
+            self.fenced_writes += 1
+            return path
         if os.path.exists(path):
             return path
         entry = {
@@ -175,7 +219,49 @@ class ResultCache:
             self.store_failures += 1
             return path
         self.stores += 1
+        self._evict_to_budget(keep=path)
         return path
+
+    def _evict_to_budget(self, keep: str) -> None:
+        """Evict LRU entries until the byte budget holds.
+
+        ``keep`` (the just-written entry) is never evicted, even if it
+        alone exceeds the budget — evicting the result we were asked to
+        store would turn the cache into a lie.  Eviction order is
+        (mtime, name): oldest access first, names breaking ties so the
+        order is deterministic on coarse-mtime filesystems.
+        """
+        if self.max_bytes is None:
+            return
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        entries = []
+        total = 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            total += info.st_size
+            entries.append((info.st_mtime, name, path, info.st_size))
+        if total <= self.max_bytes:
+            return
+        for _, _, path, size in sorted(entries):
+            if path == keep:
+                continue
+            try:
+                self.storage.remove(path, STORAGE_LAYER)
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -194,4 +280,6 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "store_failures": self.store_failures,
+            "evictions": self.evictions,
+            "fenced_writes": self.fenced_writes,
         }

@@ -44,14 +44,17 @@ from .invariants import check_service_invariants
 from .pool import SweepService
 from .protocol import (
     MAX_FRAME_BYTES,
+    NET_DELAY_SECONDS,
     OPS,
     PROTOCOL_VERSION,
     SOCKET_NAME,
     _LEN,
+    NetFaultKind,
     decode_body,
     encode_frame,
     error_response,
     frame_length,
+    get_net_faults,
     ok_response,
 )
 
@@ -74,6 +77,9 @@ class _Client:
         self.buffer = b""
         self.out = b""
         self.last_active = now
+        #: response held back by an injected ``net:server:reorder``
+        #: fault; emitted *after* the connection's next response
+        self.held: Optional[Dict[str, Any]] = None
 
 
 class SweepDaemon:
@@ -85,8 +91,12 @@ class SweepDaemon:
         socket_path: Optional[str] = None,
         client_ttl: float = 30.0,
         idle_poll: float = 0.2,
+        remote_only: bool = False,
     ) -> None:
         self.pool = pool
+        #: when set, the daemon never executes cells in-process — every
+        #: cell waits for a fleet worker to lease it (pure coordinator)
+        self.remote_only = remote_only
         self.socket_path = socket_path or os.path.join(
             pool.directory, SOCKET_NAME
         )
@@ -133,6 +143,12 @@ class SweepDaemon:
                 self.pump(wait=self.idle_poll)
                 if self._drain(interrupt):
                     break
+                if self.remote_only:
+                    # coordinator mode: cells are executed by fleet
+                    # workers; the loop still owes pending jobs their
+                    # deadline honesty
+                    self.pool.expire_deadlines()
+                    continue
                 job = self.pool.next_job()
                 if job is not None:
                     self.pool._run_job(job)
@@ -200,6 +216,10 @@ class SweepDaemon:
             if mask & selectors.EVENT_READ and client.sock.fileno() >= 0:
                 self._read(client)
         self._evict_stale()
+        # failure detection rides the pump: it runs between cells AND
+        # mid-cell (supervisor heartbeat), so a dead worker is noticed
+        # even while the daemon is busy simulating locally
+        self.pool.fleet.sweep()
 
     def _accept(self) -> None:
         assert self.listener is not None and self.selector is not None
@@ -257,7 +277,34 @@ class SweepDaemon:
             self.rejected_frames += 1
             self._send(client, error_response("protocol", str(exc)))
             return
+        # server-side network chaos: the request is attacked *after*
+        # decode, so a fault can be scoped to one op (net:server.<op>:…)
+        spec = get_net_faults().decide(
+            "server", op=str(request.get("op") or "")
+        )
+        if spec is not None:
+            if spec.kind is NetFaultKind.DROP:
+                return  # the request vanishes; the client's timeout fires
+            if spec.kind is NetFaultKind.RESET:
+                self._drop(client)
+                return
+            if spec.kind is NetFaultKind.DELAY:
+                time.sleep(NET_DELAY_SECONDS)
+            elif spec.kind is NetFaultKind.DUPLICATE:
+                # the response frame is delivered twice; the client's
+                # rq discard absorbs the extra copy
+                response = self.handle_request(request)
+                self._send(client, response)
+                self._send(client, response)
+                return
+            elif spec.kind is NetFaultKind.REORDER:
+                # hold this response until the connection's next one
+                client.held = self.handle_request(request)
+                return
         self._send(client, self.handle_request(request))
+        if client.held is not None:
+            held, client.held = client.held, None
+            self._send(client, held)  # the reordered late arrival
 
     def _send(self, client: _Client, response: Dict[str, Any]) -> None:
         try:
@@ -326,6 +373,15 @@ class SweepDaemon:
     # Request dispatch (pure: request dict in, response dict out)
     # ------------------------------------------------------------------ #
     def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        response = self._dispatch(request)
+        # echo the client's request stamp so it can discard stale
+        # responses (duplicated/reordered frames from the net: shim)
+        rq = request.get("rq")
+        if isinstance(rq, int):
+            response["rq"] = rq
+        return response
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         op = request.get("op")
         if op not in OPS:
             return error_response(
@@ -512,7 +568,92 @@ class SweepDaemon:
             requests_served=self.requests_served,
             evicted=self.evicted,
             rejected_frames=self.rejected_frames,
+            fleet=self.pool.fleet.stats(),
         )
+
+    # ------------------------------------------------------------------ #
+    # Fleet operations (remote workers)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _worker_id_of(request: Dict[str, Any]) -> Optional[str]:
+        worker_id = request.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            return None
+        return worker_id
+
+    def _op_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        capabilities = request.get("capabilities")
+        if capabilities is not None and not isinstance(capabilities, dict):
+            return error_response(
+                "protocol", "'capabilities' must be an object or absent"
+            )
+        return ok_response(**self.pool.fleet.register(capabilities))
+
+    def _op_lease(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker_id = self._worker_id_of(request)
+        if worker_id is None:
+            return error_response(
+                "protocol", "lease needs string 'worker_id'"
+            )
+        return ok_response(**self.pool.fleet.lease(worker_id))
+
+    def _op_heartbeat(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker_id = self._worker_id_of(request)
+        if worker_id is None:
+            return error_response(
+                "protocol", "heartbeat needs string 'worker_id'"
+            )
+        jobs = request.get("jobs", [])
+        if not isinstance(jobs, list) or any(
+            not isinstance(job_id, str) for job_id in jobs
+        ):
+            return error_response(
+                "protocol", "'jobs' must be a list of job ids"
+            )
+        return ok_response(**self.pool.fleet.heartbeat(worker_id, jobs))
+
+    def _op_commit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker_id = self._worker_id_of(request)
+        job_id = request.get("job_id")
+        fence = request.get("fence")
+        if worker_id is None or not isinstance(job_id, str):
+            return error_response(
+                "protocol", "commit needs string 'worker_id' and 'job_id'"
+            )
+        if not isinstance(fence, int):
+            return error_response(
+                "protocol", "commit needs integer 'fence'"
+            )
+        result = request.get("result")
+        if result is not None and not isinstance(result, dict):
+            return error_response(
+                "protocol", "'result' must be an object or absent"
+            )
+        attempts = request.get("attempts")
+        if attempts is not None and not isinstance(attempts, int):
+            return error_response(
+                "protocol", "'attempts' must be an int or absent"
+            )
+        return ok_response(
+            **self.pool.fleet.commit(
+                worker_id,
+                job_id,
+                fence,
+                str(request.get("status") or ""),
+                result=result,
+                error_class=str(request.get("error_class") or ""),
+                message=str(request.get("message") or ""),
+                attempts=attempts,
+            )
+        )
+
+    def _op_deregister(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker_id = self._worker_id_of(request)
+        if worker_id is None:
+            return error_response(
+                "protocol", "deregister needs string 'worker_id'"
+            )
+        return ok_response(**self.pool.fleet.deregister(worker_id))
 
     def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self._shutdown_requested = True

@@ -19,6 +19,20 @@ An arrow not in :data:`LEGAL_TRANSITIONS` raises
 :class:`~repro.engine.errors.JournalError`: an illegal transition in a
 checksummed log means the log was produced by a buggy or foreign
 writer, and replaying it would corrupt the sweep.
+
+Remote workers travel a second, simpler machine journaled alongside::
+
+    (register) ──► ALIVE ◄──heartbeat── SUSPECT ──missed──► DEAD
+                     │        (worker_alive)  ▲                │
+                     ├──missed (worker_suspect)┘               │
+                     └──deregister──► LEFT                (terminal)
+
+Every lease carries a **fencing token**: the journal ``seq`` of its own
+lease record, minted by :meth:`Journal.mint_fence`.  ``Job.fence``
+advances on every ownership change (lease *and* reclaim), and a
+``done``/``fail`` record carrying a stale token is refused — live, the
+fleet answers the zombie and journals an audit ``fenced`` record; on
+replay a stale-token commit in the WAL is a corruption and raises.
 """
 
 from __future__ import annotations
@@ -70,7 +84,70 @@ COUNTER_NAMES = (
     "failed",
     "quarantined",
     "cancelled",
+    "fenced",
 )
+
+# Worker states (stable strings: they appear in journal payloads)
+WORKER_ALIVE = "ALIVE"
+WORKER_SUSPECT = "SUSPECT"
+WORKER_DEAD = "DEAD"
+WORKER_LEFT = "LEFT"
+
+WORKER_STATES = (WORKER_ALIVE, WORKER_SUSPECT, WORKER_DEAD, WORKER_LEFT)
+
+#: legal (from, to) worker-state arrows
+LEGAL_WORKER_TRANSITIONS = frozenset(
+    {
+        (WORKER_ALIVE, WORKER_SUSPECT),   # missed heartbeats
+        (WORKER_SUSPECT, WORKER_ALIVE),   # heartbeat resumed
+        (WORKER_ALIVE, WORKER_DEAD),      # declared dead
+        (WORKER_SUSPECT, WORKER_DEAD),    # declared dead
+        (WORKER_ALIVE, WORKER_LEFT),      # clean deregistration
+        (WORKER_SUSPECT, WORKER_LEFT),    # clean deregistration
+    }
+)
+
+
+@dataclass
+class WorkerRecord:
+    """One registered remote worker (durable identity + suspicion state).
+
+    Worker ids are minted from the journal seq of the registration
+    record, so a worker that reconnects after being declared dead gets
+    a *new*, strictly larger id — its old identity (and every fencing
+    token issued under it) stays dead forever.
+    """
+
+    worker_id: str
+    #: benchmarks the worker can execute ([] = all)
+    benchmarks: List[str]
+    #: advertised parallel cell capacity (informational for now)
+    parallelism: int = 1
+    state: str = WORKER_ALIVE
+    #: journal seq of the registration record
+    registered_seq: int = 0
+    #: journal seq of the last record that touched this worker
+    updated_seq: int = 0
+    #: why the worker left ALIVE (suspicion / death / deregistration)
+    reason: str = ""
+
+    def capable(self, benchmark: str) -> bool:
+        return not self.benchmarks or benchmark in self.benchmarks
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "benchmarks": list(self.benchmarks),
+            "parallelism": self.parallelism,
+            "state": self.state,
+            "registered_seq": self.registered_seq,
+            "updated_seq": self.updated_seq,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "WorkerRecord":
+        return cls(**{k: payload[k] for k in payload})
 
 
 @dataclass
@@ -108,6 +185,10 @@ class Job:
     #: (benchmark, config-hash, scale, seed) — a retried submission
     #: with the same key joins this job instead of duplicating it
     idempotency_key: str = ""
+    #: fencing token of the current ownership generation: the journal
+    #: seq of the last lease/reclaim record.  A commit presenting any
+    #: other token is from a previous generation (a zombie) and refused.
+    fence: int = 0
 
     @property
     def marker(self) -> str:
@@ -140,6 +221,7 @@ class Job:
             "priority": self.priority,
             "deadline_unix": self.deadline_unix,
             "idempotency_key": self.idempotency_key,
+            "fence": self.fence,
         }
 
     @classmethod
@@ -157,6 +239,8 @@ class QueueState:
         #: idempotency key -> job_id (dedup joins; rebuilt on replay)
         self.by_key: Dict[str, str] = {}
         self.counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        #: registered remote workers by id (insertion = registration order)
+        self.workers: Dict[str, WorkerRecord] = {}
         #: breaker snapshots restored from a compaction record
         self.breaker_payloads: Dict[str, Dict[str, Any]] = {}
         #: True once a clean-shutdown record has been applied with no
@@ -222,11 +306,37 @@ class QueueState:
         # the job never entered the queue; only the counter remembers it
         self.counters["shed"] += 1
 
+    def _check_fence(
+        self, job: Job, payload: Dict[str, Any], seq: int
+    ) -> None:
+        """Refuse a commit record carrying a stale fencing token.
+
+        Live, the fleet fences zombies *before* journaling (the stale
+        commit becomes an audit ``fenced`` record, never a ``done``);
+        finding one in the WAL means a foreign or buggy writer bypassed
+        that gate, so replay must refuse it like any other corruption.
+        """
+        fence = payload.get("fence")
+        if fence is not None and int(fence) != job.fence:
+            raise JournalError(
+                f"stale fencing token {fence} for job {job.job_id!r} "
+                f"(current fence {job.fence}, seq {seq})"
+            )
+
     def _apply_lease(self, payload: Dict[str, Any], seq: int) -> None:
         job = self._job(payload, seq)
         self._transition(job, LEASED, seq)
         job.owner = payload["owner"]
         job.leased_unix = float(payload.get("unix", 0.0))
+        # the fencing token IS the lease record's seq; a payload that
+        # disagrees was spliced from another journal
+        fence = payload.get("fence")
+        if fence is not None and int(fence) != seq:
+            raise JournalError(
+                f"lease record for job {job.job_id!r} carries fence "
+                f"{fence} but landed at seq {seq}"
+            )
+        job.fence = seq
         self.counters["leased"] += 1
 
     def _apply_start(self, payload: Dict[str, Any], seq: int) -> None:
@@ -247,6 +357,7 @@ class QueueState:
 
     def _apply_done(self, payload: Dict[str, Any], seq: int) -> None:
         job = self._job(payload, seq)
+        self._check_fence(job, payload, seq)
         self._transition(job, DONE, seq)
         job.result = payload["result"]
         job.attempts = payload.get("attempts", job.attempts + 1)
@@ -257,6 +368,7 @@ class QueueState:
 
     def _apply_fail(self, payload: Dict[str, Any], seq: int) -> None:
         job = self._job(payload, seq)
+        self._check_fence(job, payload, seq)
         self._transition(job, FAILED, seq)
         job.error_class = payload["error_class"]
         job.message = payload.get("message", "")
@@ -284,7 +396,81 @@ class QueueState:
         job = self._job(payload, seq)
         self._transition(job, SUBMITTED, seq)
         job.owner = ""
+        # reclamation starts a new ownership generation: any token the
+        # previous owner still holds is stale from this seq on
+        job.fence = seq
         self.counters["reclaimed"] += 1
+
+    def _apply_fenced(self, payload: Dict[str, Any], seq: int) -> None:
+        """Audit record: a zombie commit was answered and discarded."""
+        self._job(payload, seq)  # must reference a known job
+        self.counters["fenced"] += 1
+
+    # --- worker records ------------------------------------------------ #
+    def _worker(self, payload: Dict[str, Any], seq: int) -> WorkerRecord:
+        worker_id = payload["worker_id"]
+        worker = self.workers.get(worker_id)
+        if worker is None:
+            raise JournalError(
+                f"journal record (seq {seq}) references unknown worker "
+                f"{worker_id!r}"
+            )
+        return worker
+
+    def _worker_transition(
+        self, worker: WorkerRecord, to_state: str, payload: Dict[str, Any],
+        seq: int,
+    ) -> None:
+        if (worker.state, to_state) not in LEGAL_WORKER_TRANSITIONS:
+            raise JournalError(
+                f"illegal worker transition {worker.state} -> {to_state} "
+                f"for worker {worker.worker_id!r} (seq {seq})"
+            )
+        worker.state = to_state
+        worker.updated_seq = seq
+        worker.reason = str(payload.get("reason", ""))
+
+    def _apply_worker_register(
+        self, payload: Dict[str, Any], seq: int
+    ) -> None:
+        worker = WorkerRecord.from_payload(payload["worker"])
+        if worker.worker_id in self.workers:
+            raise JournalError(
+                f"duplicate registration of worker {worker.worker_id!r} "
+                f"(seq {seq})"
+            )
+        if worker.state != WORKER_ALIVE:
+            raise JournalError(
+                f"worker {worker.worker_id!r} registered in state "
+                f"{worker.state} (seq {seq})"
+            )
+        worker.registered_seq = seq
+        worker.updated_seq = seq
+        self.workers[worker.worker_id] = worker
+
+    def _apply_worker_suspect(
+        self, payload: Dict[str, Any], seq: int
+    ) -> None:
+        self._worker_transition(
+            self._worker(payload, seq), WORKER_SUSPECT, payload, seq
+        )
+
+    def _apply_worker_alive(self, payload: Dict[str, Any], seq: int) -> None:
+        self._worker_transition(
+            self._worker(payload, seq), WORKER_ALIVE, payload, seq
+        )
+
+    def _apply_worker_dead(self, payload: Dict[str, Any], seq: int) -> None:
+        self._worker_transition(
+            self._worker(payload, seq), WORKER_DEAD, payload, seq
+        )
+
+    def _apply_worker_deregister(
+        self, payload: Dict[str, Any], seq: int
+    ) -> None:
+        self._worker_transition(
+            self._worker(payload, seq), WORKER_LEFT, payload, seq
+        )
 
     def _apply_serve_start(self, payload: Dict[str, Any], seq: int) -> None:
         pass  # provenance only: incarnation id, pid, wall time
@@ -307,6 +493,12 @@ class QueueState:
             name: int(payload["counters"].get(name, 0))
             for name in COUNTER_NAMES
         }
+        self.workers = {
+            worker_id: WorkerRecord.from_payload(worker_payload)
+            for worker_id, worker_payload in payload.get(
+                "workers", {}
+            ).items()
+        }
         self.breaker_payloads = dict(payload.get("breakers", {}))
 
     # ------------------------------------------------------------------ #
@@ -322,6 +514,10 @@ class QueueState:
             },
             "order": list(self.order),
             "counters": dict(self.counters),
+            "workers": {
+                worker_id: worker.to_payload()
+                for worker_id, worker in self.workers.items()
+            },
             "breakers": dict(breakers or {}),
         }
 
@@ -364,3 +560,7 @@ class QueueState:
             (job.benchmark, job.config_name): job
             for job in self.jobs.values()
         }
+
+    def fleet(self) -> List[WorkerRecord]:
+        """Registered workers in registration order."""
+        return list(self.workers.values())

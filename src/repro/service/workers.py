@@ -1,0 +1,774 @@
+"""Remote worker fleet: registration, failure detection, fenced leases.
+
+Two halves of one wire contract:
+
+* :class:`WorkerFleet` lives inside the daemon.  Remote workers
+  REGISTER with capabilities, lease cells, stream heartbeats, and
+  commit results — all over the same framed-JSON socket the clients
+  use.  A deadline-based failure detector (monotonic idle time against
+  ``suspect_after``/``dead_after``) journals per-worker suspicion
+  transitions (ALIVE → SUSPECT → DEAD), so fleet state survives a
+  daemon crash; a worker declared dead has its cells reclaimed and
+  reassigned.
+
+* :class:`RemoteWorker` is the worker process (``repro worker
+  --connect``): a loop of lease → supervised execution → commit,
+  heartbeating through the supervisor's poll slices.
+
+The robustness heart is the **fencing token**.  Every lease carries the
+journal seq of its own lease record (:meth:`Journal.mint_fence`), and
+``Job.fence`` advances on every ownership change — lease *and* reclaim.
+A commit is accepted only when the presented token equals the job's
+current fence and the presenting worker still owns the job.  A zombie —
+a worker that was partitioned, declared dead, and woke up after its
+cell was reassigned — presents a stale token: it is *answered* (so it
+stops retrying), the attempt is journaled as an audit ``fenced`` record
+and counted in the ``fenced`` counter, and its bytes never touch the
+WAL's job state or the result cache.  Deterministic results make this
+cheap to reason about: the reassigned run produced byte-identical
+output, so discarding the zombie's copy loses nothing.
+
+Why answered rather than dropped: an unanswered zombie retries forever
+and its operator learns nothing.  The fence response tells it exactly
+what happened ("your generation is over, re-register"), which is how a
+partitioned-then-healed worker rejoins the fleet under a fresh id.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..engine.errors import (
+    JournalError,
+    ProtocolError,
+    SimulationError,
+    classify,
+)
+from ..engine.faults import FaultPlan
+from ..engine.supervision import CellSpec, RetryPolicy, Supervisor
+from ..telemetry import config_hash
+from .state import (
+    DONE,
+    FAILED,
+    RUNNING,
+    WORKER_ALIVE,
+    WORKER_SUSPECT,
+    WorkerRecord,
+)
+
+#: default failure-detector timing (daemon side); ``repro serve
+#: --worker-ttl`` scales both: suspect at ttl/2, dead at ttl
+DEFAULT_SUSPECT_AFTER = 7.5
+DEFAULT_DEAD_AFTER = 15.0
+
+
+class WorkerAbort(Exception):
+    """Worker-internal: the daemon told us to stop this cell."""
+
+    def __init__(self, job_id: str, reason: str) -> None:
+        super().__init__(f"{job_id}: {reason}")
+        self.job_id = job_id
+        self.reason = reason
+
+
+class WorkerFleet:
+    """Daemon-side fleet manager: identity, liveness, leases, fencing.
+
+    Owns no durable state of its own — worker records live in
+    :class:`~repro.service.state.QueueState` (journaled), liveness
+    timestamps are in-memory monotonic clock readings (like the lease
+    table: liveness is a property of *this* daemon incarnation, and
+    recovery declares every previously-attached worker dead anyway).
+    """
+
+    def __init__(
+        self,
+        pool: Any,
+        suspect_after: float = DEFAULT_SUSPECT_AFTER,
+        dead_after: float = DEFAULT_DEAD_AFTER,
+    ) -> None:
+        self.pool = pool
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        #: worker_id -> last monotonic instant we heard from it
+        self._last_seen: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration and identity
+    # ------------------------------------------------------------------ #
+    def register(self, capabilities: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Admit a worker; mint its id from the journal seq.
+
+        The id *is* the registration record's seq (``w<seq>``), so ids
+        are strictly monotonic and never reused — a worker that
+        reconnects after being declared dead necessarily gets a new
+        identity, and every fencing token issued to the old one stays
+        stale forever.
+        """
+        capabilities = capabilities or {}
+        benchmarks = capabilities.get("benchmarks") or []
+        if not isinstance(benchmarks, list) or any(
+            not isinstance(b, str) or not b for b in benchmarks
+        ):
+            raise ProtocolError(
+                "register capabilities.benchmarks must be a list of "
+                "benchmark names"
+            )
+        parallelism = capabilities.get("parallelism", 1)
+        if not isinstance(parallelism, int) or parallelism < 1:
+            raise ProtocolError(
+                "register capabilities.parallelism must be a positive int"
+            )
+        worker_id = f"w{self.pool.journal.mint_fence()}"
+        worker = WorkerRecord(
+            worker_id=worker_id,
+            benchmarks=sorted(set(benchmarks)),
+            parallelism=parallelism,
+        )
+        self.pool._journal("worker_register", {"worker": worker.to_payload()})
+        self._last_seen[worker_id] = self.pool.clock()
+        return {
+            "worker_id": worker_id,
+            "heartbeat_every": max(0.05, self.suspect_after / 4.0),
+            "suspect_after": self.suspect_after,
+            "dead_after": self.dead_after,
+        }
+
+    def _attached(self, worker_id: str) -> Optional[WorkerRecord]:
+        """The worker's record iff it is still ALIVE/SUSPECT."""
+        worker = self.pool.state.workers.get(worker_id)
+        if worker is None or worker.state not in (
+            WORKER_ALIVE, WORKER_SUSPECT,
+        ):
+            return None
+        return worker
+
+    def _touch(self, worker: WorkerRecord) -> None:
+        """Record proof of life; lift suspicion if it had set in."""
+        self._last_seen[worker.worker_id] = self.pool.clock()
+        if worker.state == WORKER_SUSPECT:
+            self.pool._journal(
+                "worker_alive",
+                {"worker_id": worker.worker_id,
+                 "reason": "heartbeat resumed"},
+            )
+
+    @staticmethod
+    def _gone() -> Dict[str, Any]:
+        return {"known": False, "reregister": True}
+
+    # ------------------------------------------------------------------ #
+    # Leasing
+    # ------------------------------------------------------------------ #
+    def lease(self, worker_id: str) -> Dict[str, Any]:
+        """Assign the next runnable, capability-matched cell.
+
+        Mirrors the local loop's pre-lease discipline exactly —
+        deadline expiry, breaker admission (quarantining refused jobs),
+        config-hash cross-validation — then journals ``lease`` (with a
+        freshly minted fencing token) and ``start`` and hands the cell
+        over.  Remote cells go RUNNING at assignment: the daemon has no
+        in-process worker to start later, and the worker's heartbeats
+        renew the lease from here on.
+        """
+        from ..experiments.configs import get_config
+
+        worker = self._attached(worker_id)
+        if worker is None:
+            return self._gone()
+        self._touch(worker)
+        now = self.pool.wall_clock()
+        self.pool.expire_deadlines(now)
+        while True:
+            job = self.pool.policy.pick_next(
+                self.pool.state, now, capable=worker.capable
+            )
+            if job is None:
+                return {"known": True, "job": None}
+            breaker = self.pool.breaker_for(job.benchmark)
+            allowed, note = breaker.allow()
+            if not allowed:
+                self.pool._journal(
+                    "quarantine",
+                    {
+                        "job_id": job.job_id,
+                        "cause_class": breaker.dominant_class(),
+                        "message": note,
+                    },
+                )
+                continue
+            config = get_config(job.config_name)
+            current_hash = config_hash(config)
+            if job.config_hash and current_hash != job.config_hash:
+                raise JournalError(
+                    f"job {job.job_id!r} was submitted for config hash "
+                    f"{job.config_hash} but {job.config_name!r} now hashes "
+                    f"to {current_hash}; the configuration changed between "
+                    f"submit and run — resubmit into a fresh service "
+                    f"directory"
+                )
+            fence = self.pool.journal.mint_fence()
+            self.pool._journal(
+                "lease",
+                {
+                    "job_id": job.job_id,
+                    "owner": worker_id,
+                    "unix": time.time(),
+                    "fence": fence,
+                },
+            )
+            self.pool._journal("start", {"job_id": job.job_id})
+            return {
+                "known": True,
+                "job": {
+                    "job_id": job.job_id,
+                    "benchmark": job.benchmark,
+                    "config_name": job.config_name,
+                    "scale": job.scale,
+                    "seed": job.seed,
+                    "config_hash": job.config_hash,
+                    "fence": fence,
+                    "deadline_unix": job.deadline_unix,
+                    "attempts": job.attempts,
+                    "timeout": self.pool.timeout,
+                    "sanitize": self.pool.sanitize,
+                    "probe": note == "probe",
+                },
+            }
+
+    # ------------------------------------------------------------------ #
+    # Heartbeats
+    # ------------------------------------------------------------------ #
+    def heartbeat(
+        self, worker_id: str, jobs: Optional[List[str]] = None
+    ) -> Dict[str, Any]:
+        """Renew the worker's liveness and its running cells' leases.
+
+        Returns the jobs the worker must *abort*: cells it believes it
+        owns but no longer does (reclaimed, cancelled) and cells past
+        their deadline (journaled ``FAILED(deadline)`` here, exactly
+        like the local heartbeat would).
+        """
+        worker = self._attached(worker_id)
+        if worker is None:
+            return {**self._gone(), "abort": list(jobs or [])}
+        self._touch(worker)
+        abort: List[str] = []
+        now = self.pool.wall_clock()
+        for job_id in jobs or []:
+            job = self.pool.state.jobs.get(job_id)
+            if (
+                job is None
+                or job.state != RUNNING
+                or job.owner != worker_id
+            ):
+                abort.append(job_id)
+                continue
+            if job_id in self.pool._cancel_requested:
+                self.pool._cancel_requested.discard(job_id)
+                self.pool._journal(
+                    "reclaim", {"job_id": job_id, "reason": "cancel"}
+                )
+                self.pool._journal(
+                    "cancel",
+                    {
+                        "job_id": job_id,
+                        "message": "cancelled while running remotely",
+                    },
+                )
+                abort.append(job_id)
+                continue
+            if job.past_deadline(now):
+                self.pool._journal(
+                    "fail",
+                    {
+                        "job_id": job_id,
+                        "error_class": "deadline",
+                        "message": (
+                            f"cell blew its deadline mid-run "
+                            f"({now - job.deadline_unix:.1f}s over); "
+                            f"worker told to abort"
+                        ),
+                        "attempts": job.attempts,
+                        "fence": job.fence,
+                    },
+                )
+                abort.append(job_id)
+                continue
+            self.pool.leases.heartbeat(job_id)
+        return {"known": True, "abort": abort}
+
+    # ------------------------------------------------------------------ #
+    # Commits (the fencing gate)
+    # ------------------------------------------------------------------ #
+    def commit(
+        self,
+        worker_id: str,
+        job_id: str,
+        fence: int,
+        status: str,
+        result: Optional[Dict[str, Any]] = None,
+        error_class: str = "",
+        message: str = "",
+        attempts: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Accept or fence one remote result.
+
+        Acceptance requires the *conjunction*: the job is RUNNING, this
+        worker owns it, the presented token equals the job's current
+        fence, and the worker is still attached.  A duplicate delivery
+        of an already-applied commit (same token, job now terminal) is
+        acknowledged idempotently without touching the WAL.  Everything
+        else is a zombie write: answered, journaled as an audit
+        ``fenced`` record, counted, and discarded.
+        """
+        if status not in ("done", "fail"):
+            raise ProtocolError(
+                f"commit status must be 'done' or 'fail', got {status!r}"
+            )
+        if status == "done" and not isinstance(result, dict):
+            raise ProtocolError("commit status 'done' requires a result dict")
+        job = self.pool.state.jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"commit references unknown job {job_id!r}")
+        worker = self._attached(worker_id)
+        fence = int(fence)
+        fresh = (
+            job.state == RUNNING
+            and job.owner == worker_id
+            and fence == job.fence
+            and worker is not None
+        )
+        if fresh:
+            self._touch(worker)
+            if status == "done":
+                self.pool._journal(
+                    "done",
+                    {
+                        "job_id": job_id,
+                        "result": result,
+                        "attempts": (
+                            attempts if attempts is not None
+                            else job.attempts + 1
+                        ),
+                        "fence": fence,
+                    },
+                )
+                done = self.pool.state.jobs[job_id]
+                if done.idempotency_key:
+                    self.pool.results.put(
+                        done.idempotency_key,
+                        done.result,
+                        job_id=done.job_id,
+                        benchmark=done.benchmark,
+                        config_name=done.config_name,
+                        config_hash=done.config_hash,
+                        scale=self.pool.scale,
+                        seed=self.pool.seed,
+                        fence=fence,
+                        fence_expected=done.fence,
+                    )
+                self.pool._write_job_manifest(done)
+            else:
+                self.pool._journal(
+                    "fail",
+                    {
+                        "job_id": job_id,
+                        "error_class": error_class or "error",
+                        "message": str(message).splitlines()[0]
+                        if message else "",
+                        "attempts": (
+                            attempts if attempts is not None
+                            else job.attempts + 1
+                        ),
+                        "fence": fence,
+                    },
+                )
+            return {"accepted": True, "state": job.state}
+        if job.state in (DONE, FAILED) and fence == job.fence:
+            # duplicate delivery (or a retry after a lost response) of a
+            # commit that already landed: acknowledge, change nothing
+            return {"accepted": True, "duplicate": True, "state": job.state}
+        # zombie write: a stale generation (or a detached worker)
+        self.pool._journal(
+            "fenced",
+            {
+                "job_id": job_id,
+                "worker_id": worker_id,
+                "fence": fence,
+                "expected": job.fence,
+                "status": status,
+            },
+        )
+        return {
+            "accepted": False,
+            "fenced": True,
+            "expected": job.fence,
+            "state": job.state,
+            "reregister": worker is None,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Departure and failure detection
+    # ------------------------------------------------------------------ #
+    def deregister(self, worker_id: str) -> Dict[str, Any]:
+        """Clean departure: cells it still owns are reclaimed now."""
+        worker = self._attached(worker_id)
+        if worker is None:
+            return self._gone()
+        self._reclaim_owned(worker_id, "worker deregistered")
+        self.pool._journal(
+            "worker_deregister",
+            {"worker_id": worker_id, "reason": "clean departure"},
+        )
+        self._last_seen.pop(worker_id, None)
+        return {"known": True}
+
+    def declare_dead(self, worker_id: str, reason: str = "operator") -> bool:
+        """Force one worker dead (failure detector / admin / tests)."""
+        worker = self._attached(worker_id)
+        if worker is None:
+            return False
+        self.pool._journal(
+            "worker_dead", {"worker_id": worker_id, "reason": reason}
+        )
+        self._reclaim_owned(worker_id, f"owner declared dead: {reason}")
+        self._last_seen.pop(worker_id, None)
+        return True
+
+    def _reclaim_owned(self, worker_id: str, reason: str) -> int:
+        reclaimed = 0
+        for job in list(self.pool.state.leased()):
+            if job.owner == worker_id:
+                self.pool._journal(
+                    "reclaim", {"job_id": job.job_id, "reason": reason}
+                )
+                reclaimed += 1
+        return reclaimed
+
+    def sweep(self) -> None:
+        """The failure detector: suspect, then declare dead, by idle time.
+
+        Called from the daemon pump (and harmless to call anywhere):
+        a worker idle past ``suspect_after`` is journaled SUSPECT; past
+        ``dead_after`` it is journaled DEAD and its cells are reclaimed
+        for reassignment.  Idle time is measured on the pool's
+        monotonic clock, so wall-clock jumps cannot mass-kill a fleet.
+        """
+        now = self.pool.clock()
+        for worker in self.pool.state.fleet():
+            if worker.state not in (WORKER_ALIVE, WORKER_SUSPECT):
+                continue
+            idle = now - self._last_seen.setdefault(worker.worker_id, now)
+            if idle > self.dead_after:
+                self.pool._journal(
+                    "worker_dead",
+                    {
+                        "worker_id": worker.worker_id,
+                        "reason": f"no heartbeat for {idle:.1f}s",
+                    },
+                )
+                self._reclaim_owned(
+                    worker.worker_id,
+                    f"owner {worker.worker_id} declared dead",
+                )
+                self._last_seen.pop(worker.worker_id, None)
+            elif worker.state == WORKER_ALIVE and idle > self.suspect_after:
+                self.pool._journal(
+                    "worker_suspect",
+                    {
+                        "worker_id": worker.worker_id,
+                        "reason": f"no heartbeat for {idle:.1f}s",
+                    },
+                )
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for worker in self.pool.state.fleet():
+            counts[worker.state] = counts.get(worker.state, 0) + 1
+        return {
+            "workers": counts,
+            "fenced": self.pool.state.counters["fenced"],
+            "suspect_after": self.suspect_after,
+            "dead_after": self.dead_after,
+        }
+
+
+class RemoteWorker:
+    """The worker process: register, lease, execute, commit, repeat.
+
+    Execution reuses the exact supervised-subprocess machinery the
+    local pool uses (:class:`~repro.engine.supervision.Supervisor`),
+    with the heartbeat hook pointed over the wire: every poll slice
+    sends a fleet heartbeat, and an ``abort`` verdict in the response
+    kills the cell's subprocess immediately (reclaimed or cancelled
+    cells stop consuming the host).
+
+    Partition behavior is deliberate: a heartbeat that cannot reach the
+    daemon is *tolerated* (logged, never fatal) and the cell keeps
+    running — from inside a partition you cannot distinguish "daemon
+    gone" from "network down", and the fencing gate makes finishing
+    safe either way.  If the daemon declared us dead meanwhile, our
+    commit is fenced and the response tells us to re-register under a
+    fresh identity.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        benchmarks: Optional[List[str]] = None,
+        parallelism: int = 1,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        heartbeat_every: Optional[float] = None,
+        poll: float = 0.25,
+        max_cells: Optional[int] = None,
+        idle_exit: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        log: Callable[[str], None] = lambda line: print(line, flush=True),
+    ) -> None:
+        self.client = client
+        self.client.side = "worker"
+        self.benchmarks = list(benchmarks or [])
+        self.parallelism = parallelism
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.heartbeat_every = heartbeat_every
+        self.poll = poll
+        self.max_cells = max_cells
+        self.idle_exit = idle_exit
+        self.sleep = sleep
+        self.clock = clock
+        self.log = log
+        self.worker_id = ""
+        self._server_heartbeat_every = 1.0
+        #: cells whose commit attempt completed (accepted or fenced)
+        self.cells = 0
+        self.fenced = 0
+
+    # ------------------------------------------------------------------ #
+    # Fleet membership
+    # ------------------------------------------------------------------ #
+    def register(self) -> str:
+        response = self.client.register(
+            {
+                "benchmarks": self.benchmarks,
+                "parallelism": self.parallelism,
+            }
+        )
+        self.worker_id = response["worker_id"]
+        self._server_heartbeat_every = float(
+            response.get("heartbeat_every", 1.0)
+        )
+        self.log(
+            f"registered       {self.worker_id} "
+            f"benchmarks={','.join(self.benchmarks) or '*'} "
+            f"heartbeat={self._hb_interval():g}s"
+        )
+        return self.worker_id
+
+    def _hb_interval(self) -> float:
+        return (
+            self.heartbeat_every
+            if self.heartbeat_every is not None
+            else self._server_heartbeat_every
+        )
+
+    def run(self) -> int:
+        """Serve cells until ``max_cells``, ``idle_exit``, or daemon loss.
+
+        Returns the number of commit attempts made (accepted + fenced).
+        Raises :class:`DaemonUnavailable` if the daemon disappears —
+        the CLI maps that to its usual exit code 14.
+        """
+        self.register()
+        idle_since: Optional[float] = None
+        try:
+            while self.max_cells is None or self.cells < self.max_cells:
+                lease = self.client.lease_cell(self.worker_id)
+                if not lease.get("known", False):
+                    self.log(
+                        f"re-registering   {self.worker_id} was declared "
+                        f"gone by the daemon"
+                    )
+                    self.register()
+                    continue
+                job = lease.get("job")
+                if job is None:
+                    now = self.clock()
+                    if idle_since is None:
+                        idle_since = now
+                    elif (
+                        self.idle_exit is not None
+                        and now - idle_since >= self.idle_exit
+                    ):
+                        self.log(
+                            f"idle-exit        no work for "
+                            f"{self.idle_exit:g}s"
+                        )
+                        break
+                    self.sleep(self.poll)
+                    continue
+                idle_since = None
+                self._run_lease(job)
+        finally:
+            self._deregister()
+        return self.cells
+
+    def _deregister(self) -> None:
+        if not self.worker_id:
+            return
+        try:
+            self.client.deregister(self.worker_id)
+        except (SimulationError, OSError):
+            pass  # departure is best-effort; the detector will notice
+
+    # ------------------------------------------------------------------ #
+    # One leased cell
+    # ------------------------------------------------------------------ #
+    def _run_lease(self, job: Dict[str, Any]) -> None:
+        from ..experiments.configs import get_config
+
+        job_id = job["job_id"]
+        fence = int(job["fence"])
+        self.log(f"cell             {job_id} fence={fence}")
+        try:
+            config = get_config(job["config_name"])
+        except Exception as exc:  # unknown config on this host
+            self._commit_fail(job, "config", f"{exc}", attempts=1)
+            return
+        current_hash = config_hash(config)
+        if job.get("config_hash") and current_hash != job["config_hash"]:
+            self._commit_fail(
+                job,
+                "config",
+                f"config {job['config_name']!r} hashes to {current_hash} "
+                f"here but the job pinned {job['config_hash']}",
+                attempts=1,
+            )
+            return
+        retry = (
+            RetryPolicy(
+                max_attempts=1,
+                backoff_base=self.retry.backoff_base,
+                backoff_factor=self.retry.backoff_factor,
+                jitter=self.retry.jitter,
+            )
+            if job.get("probe")  # a half-open probe gets no retry budget
+            else self.retry
+        )
+        timeout = self.timeout
+        if timeout is None and job.get("timeout") is not None:
+            timeout = float(job["timeout"])
+        if job.get("deadline_unix"):
+            remaining = max(0.05, float(job["deadline_unix"]) - time.time())
+            capped = remaining + 2.0
+            timeout = capped if timeout is None else min(timeout, capped)
+        supervisor = Supervisor(
+            timeout=timeout,
+            retry=retry,
+            fault_plan=(
+                self.fault_plan
+                if self.fault_plan is not None
+                else FaultPlan.from_env()
+            ),
+            heartbeat=lambda: self._heartbeat(job_id),
+            heartbeat_interval=self._hb_interval(),
+        )
+        spec = CellSpec(
+            benchmark=job["benchmark"],
+            config=config,
+            config_tag=job["config_name"],
+            scale=job["scale"],
+            seed=job["seed"],
+            sanitize=job.get("sanitize"),
+        )
+        try:
+            result = supervisor.run_cell(spec)
+        except WorkerAbort as abort:
+            # the daemon already journaled the outcome (reclaim/cancel/
+            # deadline); our half is simply to stop burning the host
+            self.log(f"aborted          {job_id} ({abort.reason})")
+            return
+        except SimulationError as exc:
+            self._commit_fail(
+                job,
+                classify(exc),
+                str(exc).splitlines()[0],
+                attempts=getattr(exc, "attempts", 1),
+            )
+            return
+        self._commit(
+            job,
+            {
+                "op": "commit",
+                "worker_id": self.worker_id,
+                "job_id": job_id,
+                "fence": fence,
+                "status": "done",
+                "result": result,
+            },
+        )
+
+    def _commit_fail(
+        self, job: Dict[str, Any], error_class: str, message: str,
+        attempts: int,
+    ) -> None:
+        self._commit(
+            job,
+            {
+                "op": "commit",
+                "worker_id": self.worker_id,
+                "job_id": job["job_id"],
+                "fence": int(job["fence"]),
+                "status": "fail",
+                "error_class": error_class,
+                "message": message,
+                "attempts": attempts,
+            },
+        )
+
+    def _commit(self, job: Dict[str, Any], body: Dict[str, Any]) -> None:
+        response = self.client.request(body)
+        self.cells += 1
+        if response.get("accepted"):
+            dup = " (duplicate)" if response.get("duplicate") else ""
+            self.log(
+                f"committed        {job['job_id']} "
+                f"fence={body['fence']} {body['status']}{dup}"
+            )
+            return
+        self.fenced += 1
+        self.log(
+            f"fenced           {job['job_id']} fence={body['fence']} "
+            f"stale (expected {response.get('expected')}); result discarded"
+        )
+        if response.get("reregister"):
+            self.log(
+                f"re-registering   {self.worker_id} was declared gone "
+                f"by the daemon"
+            )
+            self.register()
+
+    # ------------------------------------------------------------------ #
+    # Heartbeats (via the supervisor's poll slices)
+    # ------------------------------------------------------------------ #
+    def _heartbeat(self, job_id: str) -> None:
+        try:
+            response = self.client.worker_heartbeat(
+                self.worker_id, [job_id]
+            )
+        except (SimulationError, OSError):
+            # partitioned, not dead: keep running.  If the daemon
+            # reclaims the cell meanwhile, our commit will be fenced —
+            # which is safe by construction, so pressing on is correct.
+            return
+        if job_id in (response.get("abort") or []):
+            raise WorkerAbort(job_id, "reclaimed by daemon")

@@ -62,8 +62,10 @@ def test_audit_catches_a_lost_done_record(tmp_path):
             break
     assert directory is not None, "no survivor log with DONE records"
 
-    # rebuild the journal without its DONE records (re-sequenced, so
-    # the log itself stays formally valid — only the semantics lie)
+    # rebuild the journal without its DONE records.  Re-sequencing
+    # moves every lease record, and replay insists a lease's fencing
+    # token equals its own seq — so fences are re-minted per job to
+    # keep the log formally valid; only the semantics lie.
     path = os.path.join(directory, JOURNAL_NAME)
     journal = Journal(path, scale="micro", seed=7)
     kept = [
@@ -74,8 +76,18 @@ def test_audit_catches_a_lost_done_record(tmp_path):
     journal.close()
     os.remove(path)
     rebuilt = Journal(path, scale="micro", seed=7)
+    fences = {}
     for rtype, payload in kept:
-        rebuilt.append(rtype, payload)
+        payload = dict(payload)
+        job_id = payload.get("job_id")
+        if rtype == "lease":
+            payload["fence"] = rebuilt.mint_fence()
+            fences[job_id] = payload["fence"]
+        elif "fence" in payload and job_id in fences:
+            payload["fence"] = fences[job_id]
+        seq = rebuilt.append(rtype, payload)
+        if rtype == "reclaim":
+            fences[job_id] = seq
     rebuilt.close()
 
     benchmark, config = SCRIPT_JOBS[0]

@@ -84,5 +84,5 @@ def test_stats(tmp_path):
     cache.get("b" * 64)
     assert cache.stats() == {
         "entries": 1, "hits": 1, "misses": 1, "stores": 1,
-        "store_failures": 0,
+        "store_failures": 0, "evictions": 0, "fenced_writes": 0,
     }

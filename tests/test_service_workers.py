@@ -1,0 +1,732 @@
+"""Worker-fleet tests: registration, failure detection, fenced leases,
+net-fault chaos, LRU result cache, and deadline-capped client backoff.
+
+The fleet unit tests drive :class:`WorkerFleet` in-process with
+injected clocks (deterministic failure detection); the end-to-end test
+runs a real coordinator daemon, partitions a worker with the ``net:``
+shim, and proves the fencing invariant over real sockets: the
+reclaimed-then-revived worker's commit is rejected, the reassigned
+run's result is served, and the WAL replays to an identical snapshot.
+"""
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.engine.errors import (
+    ConfigError,
+    DeadlineError,
+    JournalError,
+    ProtocolError,
+)
+from repro.engine.faults import FaultKind, FaultPlan
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    RUNNING,
+    SUBMITTED,
+    WORKER_ALIVE,
+    WORKER_DEAD,
+    WORKER_LEFT,
+    WORKER_SUSPECT,
+    DaemonClient,
+    DaemonUnavailable,
+    Job,
+    NetFaultKind,
+    NetFaults,
+    NetFaultSpec,
+    QueueState,
+    ResultCache,
+    SweepDaemon,
+    SweepService,
+    parse_net_spec,
+    set_net_faults,
+)
+from repro.service.protocol import encode_frame
+
+
+@pytest.fixture(autouse=True)
+def _clean_net_faults(monkeypatch):
+    """Every test starts and ends with a pristine net-fault shim."""
+    monkeypatch.delenv("REPRO_FAULT", raising=False)
+    set_net_faults(None)
+    yield
+    set_net_faults(None)
+
+
+def make_pool(tmp_path, **kwargs):
+    kwargs.setdefault("scale", "micro")
+    kwargs.setdefault("seed", 0)
+    pool = SweepService(str(tmp_path / "svc"), **kwargs)
+    pool.recover()
+    return pool
+
+
+# --------------------------------------------------------------------- #
+# net:<side>[.<op>]:<kind>[:<nth>|:*] grammar
+# --------------------------------------------------------------------- #
+
+
+def test_parse_net_spec_forms_and_roundtrip():
+    spec = parse_net_spec("net:client:drop")
+    assert (spec.side, spec.kind, spec.nth, spec.op) == (
+        "client", NetFaultKind.DROP, 1, ""
+    )
+    spec = parse_net_spec("net:worker.heartbeat:drop:*")
+    assert (spec.side, spec.kind, spec.nth, spec.op) == (
+        "worker", NetFaultKind.DROP, 0, "heartbeat"
+    )
+    spec = parse_net_spec("net:server.submit:delay:3")
+    assert (spec.side, spec.kind, spec.nth, spec.op) == (
+        "server", NetFaultKind.DELAY, 3, "submit"
+    )
+    for text in (
+        "net:client:drop",
+        "net:worker.heartbeat:drop:*",
+        "net:server.submit:delay:3",
+        "net:server:reorder",
+        "net:client:reset:2",
+    ):
+        assert parse_net_spec(text).to_part() == text
+
+
+def test_parse_net_spec_rejects_garbage():
+    for text in (
+        "net:client",                 # missing kind
+        "net:client:drop:1:extra",    # too many fields
+        "net:mars:drop",              # unknown side
+        "net:client:teleport",        # unknown kind
+        "net:client:reorder",         # reorder is server-only
+        "net:worker:reorder:*",       # reorder is server-only
+        "net:client:drop:0",          # nth must be >= 1 or '*'
+        "net:client:drop:soon",       # nth not an int
+    ):
+        with pytest.raises(ConfigError):
+            parse_net_spec(text)
+
+
+def test_fault_plan_carries_net_specs_and_roundtrips():
+    plan = FaultPlan.parse(
+        "nw:baseline:crash:2;net:worker.heartbeat:drop:*;net:server:reorder"
+    )
+    assert len(plan.net) == 2
+    assert plan.net[0].op == "heartbeat"
+    assert bool(plan)
+    again = FaultPlan.parse(plan.to_env())
+    assert again.net == plan.net
+    assert again.specs == plan.specs
+    with pytest.raises(ConfigError):
+        FaultPlan.parse("bfs:baseline:crash;net:client:reorder")
+
+
+def test_fault_plan_stall_reinterprets_times_as_seconds():
+    plan = FaultPlan.parse("bfs:baseline:stall:9")
+    spec = plan.lookup("bfs", "baseline", attempt=0)
+    assert spec.kind is FaultKind.STALL
+    assert spec.stall_seconds == 9.0
+    # a stall applies on every attempt: it models slow, not broken
+    assert plan.lookup("bfs", "baseline", attempt=7) is spec
+
+
+def test_net_faults_single_shot_and_sustained():
+    net = NetFaults([
+        NetFaultSpec("client", NetFaultKind.DROP, 2),
+        NetFaultSpec("server", NetFaultKind.RESET, 0),
+    ])
+    assert net.decide("client", "ping") is None
+    fired = net.decide("client", "ping")
+    assert fired is not None and fired.kind is NetFaultKind.DROP
+    # single-shot: the third matching frame passes clean
+    assert net.decide("client", "ping") is None
+    # '*' never retires: every server frame is attacked
+    for _ in range(3):
+        assert net.decide("server", "status").kind is NetFaultKind.RESET
+    assert len(net.decisions) == 4
+
+
+def test_net_faults_op_scope_counts_only_matching_frames():
+    net = NetFaults([
+        NetFaultSpec("worker", NetFaultKind.DROP, 2, "heartbeat"),
+    ])
+    assert net.decide("worker", "lease") is None
+    assert net.decide("worker", "heartbeat") is None   # heartbeat #1
+    assert net.decide("worker", "commit") is None
+    fired = net.decide("worker", "heartbeat")          # heartbeat #2
+    assert fired is not None and fired.op == "heartbeat"
+
+
+def test_net_faults_env_refresh_resets_counts(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT", "net:client:drop")
+    net = NetFaults()
+    assert net.decide("client", "ping").kind is NetFaultKind.DROP
+    assert net.decide("client", "ping") is None
+    # a new plan is a new experiment: frame counts start over
+    monkeypatch.setenv("REPRO_FAULT", "net:client:drop:2")
+    assert net.decide("client", "ping") is None
+    assert net.decide("client", "ping").kind is NetFaultKind.DROP
+
+
+# --------------------------------------------------------------------- #
+# Client: rq stamping, stale-response discard, deadline-capped backoff
+# --------------------------------------------------------------------- #
+
+
+def test_client_discards_stale_rq_responses(tmp_path):
+    client = DaemonClient(str(tmp_path), timeout=2.0)
+    ours, theirs = socket.socketpair()
+    try:
+        client._sock = ours
+        theirs.sendall(encode_frame({"ok": True, "rq": 1, "tag": "stale"}))
+        theirs.sendall(encode_frame({"ok": True, "rq": 2, "tag": "fresh"}))
+        assert client._recv_matching(2)["tag"] == "fresh"
+    finally:
+        ours.close()
+        theirs.close()
+
+
+def test_client_rejects_response_from_the_future(tmp_path):
+    client = DaemonClient(str(tmp_path), timeout=2.0)
+    ours, theirs = socket.socketpair()
+    try:
+        client._sock = ours
+        theirs.sendall(encode_frame({"ok": True, "rq": 9}))
+        with pytest.raises(ProtocolError):
+            client._recv_matching(2)
+    finally:
+        ours.close()
+        theirs.close()
+
+
+def test_client_backoff_is_capped_by_the_deadline(tmp_path):
+    sleeps = []
+    client = DaemonClient(
+        str(tmp_path), timeout=0.2, max_attempts=4,
+        backoff_base=5.0, sleep=sleeps.append,
+    )
+    # nothing listens on the socket: every attempt fails instantly
+    with pytest.raises((DaemonUnavailable, DeadlineError)):
+        client.request({"op": "ping"}, deadline=0.5)
+    assert sleeps, "connection refusals must be retried"
+    # uncapped, the first standoff alone would be >= backoff_base
+    assert client.backoff(0) > 0.5
+    assert all(standoff <= 0.5 for standoff in sleeps)
+
+
+def test_client_exhausted_deadline_raises_without_sleeping(tmp_path):
+    sleeps = []
+    client = DaemonClient(
+        str(tmp_path), timeout=0.2, max_attempts=5, sleep=sleeps.append,
+    )
+    with pytest.raises(DeadlineError):
+        client.request({"op": "ping"}, deadline=0.0)
+    assert sleeps == []
+
+
+# --------------------------------------------------------------------- #
+# Result cache: LRU eviction at a byte budget; fenced writes
+# --------------------------------------------------------------------- #
+
+
+def test_result_cache_evicts_least_recently_used(tmp_path):
+    cache = ResultCache(str(tmp_path / "results"), max_bytes=1 << 20)
+    k1, k2, k3 = "a" * 64, "b" * 64, "c" * 64
+    cache.put(k1, {"cycles": 1.0})
+    cache.put(k2, {"cycles": 2.0})
+    size = os.path.getsize(cache.path_for(k1))
+    # pin recency deterministically: k2 is the LRU entry
+    os.utime(cache.path_for(k1), (1000, 1000))
+    os.utime(cache.path_for(k2), (500, 500))
+    cache.max_bytes = 2 * size + 8  # room for exactly two entries
+    cache.put(k3, {"cycles": 3.0})
+    assert cache.get(k2) is None
+    assert cache.get(k1)["result"] == {"cycles": 1.0}
+    assert cache.get(k3)["result"] == {"cycles": 3.0}
+    assert cache.evictions == 1
+    assert cache.stats()["evictions"] == 1
+    assert len(cache) == 2
+
+
+def test_result_cache_never_evicts_the_entry_just_written(tmp_path):
+    cache = ResultCache(str(tmp_path / "results"), max_bytes=1)
+    key = "k" * 64
+    cache.put(key, {"cycles": 1.0})
+    # the budget cannot hold it, but evicting the result we were asked
+    # to store would turn the cache into a lie
+    assert cache.get(key)["result"] == {"cycles": 1.0}
+    assert cache.evictions == 0
+
+
+def test_result_cache_reads_refresh_recency(tmp_path):
+    cache = ResultCache(str(tmp_path / "results"), max_bytes=1 << 20)
+    k1, k2, k3 = "a" * 64, "b" * 64, "c" * 64
+    cache.put(k1, {"cycles": 1.0})
+    cache.put(k2, {"cycles": 2.0})
+    size = os.path.getsize(cache.path_for(k1))
+    os.utime(cache.path_for(k1), (500, 500))
+    os.utime(cache.path_for(k2), (1000, 1000))
+    cache.get(k1)  # touch: k1 is now the most recently used
+    cache.max_bytes = 2 * size + 8
+    cache.put(k3, {"cycles": 3.0})
+    assert cache.get(k1) is not None
+    assert cache.get(k2) is None
+
+
+def test_result_cache_fences_stale_generation_writes(tmp_path):
+    cache = ResultCache(str(tmp_path / "results"))
+    key = "k" * 64
+    cache.put(key, {"cycles": 1.0}, fence=3, fence_expected=5)
+    assert cache.get(key) is None
+    assert cache.stores == 0
+    assert cache.fenced_writes == 1
+    # a current-generation write with matching tokens lands normally
+    cache.put(key, {"cycles": 1.0}, fence=5, fence_expected=5)
+    assert cache.get(key)["result"] == {"cycles": 1.0}
+
+
+# --------------------------------------------------------------------- #
+# Fleet: registration, capabilities, failure detection
+# --------------------------------------------------------------------- #
+
+
+def test_register_validates_capabilities(tmp_path):
+    pool = make_pool(tmp_path)
+    with pytest.raises(ProtocolError):
+        pool.fleet.register({"benchmarks": "bfs"})
+    with pytest.raises(ProtocolError):
+        pool.fleet.register({"benchmarks": [""]})
+    with pytest.raises(ProtocolError):
+        pool.fleet.register({"parallelism": 0})
+    grant = pool.fleet.register(None)
+    assert grant["worker_id"].startswith("w")
+    assert grant["heartbeat_every"] > 0
+    assert grant["dead_after"] == pool.fleet.dead_after
+
+
+def test_worker_ids_are_monotonic_and_never_reused(tmp_path):
+    pool = make_pool(tmp_path)
+    first = pool.fleet.register({})["worker_id"]
+    second = pool.fleet.register({})["worker_id"]
+    assert int(second[1:]) > int(first[1:])
+    pool.fleet.deregister(first)
+    third = pool.fleet.register({})["worker_id"]
+    assert third not in (first, second)
+    assert pool.state.workers[first].state == WORKER_LEFT
+
+
+def test_lease_respects_worker_capabilities(tmp_path):
+    pool = make_pool(tmp_path)
+    pool.submit("bfs", "baseline")
+    narrow = pool.fleet.register({"benchmarks": ["atax"]})["worker_id"]
+    assert pool.fleet.lease(narrow) == {"known": True, "job": None}
+    able = pool.fleet.register({"benchmarks": ["atax", "bfs"]})["worker_id"]
+    lease = pool.fleet.lease(able)
+    assert lease["job"]["benchmark"] == "bfs"
+    assert lease["job"]["fence"] > 0
+    job = pool.state.jobs[lease["job"]["job_id"]]
+    assert job.state == RUNNING
+    assert job.owner == able
+    assert job.fence == lease["job"]["fence"]
+
+
+def test_lease_from_unknown_worker_demands_reregistration(tmp_path):
+    pool = make_pool(tmp_path)
+    assert pool.fleet.lease("w999") == {"known": False, "reregister": True}
+
+
+def test_failure_detector_suspects_revives_then_kills(tmp_path):
+    clk = {"now": 0.0}
+    pool = make_pool(tmp_path, clock=lambda: clk["now"], worker_ttl=10.0)
+    pool.submit("bfs", "baseline")
+    worker_id = pool.fleet.register({})["worker_id"]
+    job_id = pool.fleet.lease(worker_id)["job"]["job_id"]
+    # suspect_after = ttl/2 = 5s of silence
+    clk["now"] = 6.0
+    pool.fleet.sweep()
+    assert pool.state.workers[worker_id].state == WORKER_SUSPECT
+    # a heartbeat lifts suspicion and keeps the lease
+    beat = pool.fleet.heartbeat(worker_id, [job_id])
+    assert beat == {"known": True, "abort": []}
+    assert pool.state.workers[worker_id].state == WORKER_ALIVE
+    # dead_after = ttl = 10s of silence: dead, cells reclaimed
+    clk["now"] = 17.0
+    pool.fleet.sweep()
+    worker = pool.state.workers[worker_id]
+    assert worker.state == WORKER_DEAD
+    assert "no heartbeat" in worker.reason
+    job = pool.state.jobs[job_id]
+    assert job.state == SUBMITTED
+    assert job.owner == ""
+    assert pool.state.counters["reclaimed"] == 1
+    # the zombie's next heartbeat is answered: re-register, abort all
+    beat = pool.fleet.heartbeat(worker_id, [job_id])
+    assert beat["known"] is False
+    assert beat["reregister"] is True
+    assert job_id in beat["abort"]
+
+
+def test_heartbeat_aborts_cells_the_worker_no_longer_owns(tmp_path):
+    pool = make_pool(tmp_path)
+    worker_id = pool.fleet.register({})["worker_id"]
+    beat = pool.fleet.heartbeat(worker_id, ["bfs:nonexistent"])
+    assert beat["known"] is True
+    assert beat["abort"] == ["bfs:nonexistent"]
+
+
+def test_heartbeat_preempts_cancelled_remote_cells(tmp_path):
+    pool = make_pool(tmp_path)
+    job = pool.submit("bfs", "baseline")
+    worker_id = pool.fleet.register({})["worker_id"]
+    pool.fleet.lease(worker_id)
+    pool.cancel(job.job_id)  # RUNNING: flagged for preemption
+    beat = pool.fleet.heartbeat(worker_id, [job.job_id])
+    assert beat["abort"] == [job.job_id]
+    assert pool.state.jobs[job.job_id].state == CANCELLED
+    assert pool.state.counters["cancelled"] == 1
+
+
+def test_heartbeat_fails_remote_cells_past_their_deadline(tmp_path):
+    wall = {"now": 1000.0}
+    pool = make_pool(tmp_path, wall_clock=lambda: wall["now"])
+    job = pool.submit("bfs", "baseline", deadline=5.0)
+    worker_id = pool.fleet.register({})["worker_id"]
+    pool.fleet.lease(worker_id)
+    wall["now"] = 1010.0  # the cell blew its deadline mid-run
+    beat = pool.fleet.heartbeat(worker_id, [job.job_id])
+    assert beat["abort"] == [job.job_id]
+    failed = pool.state.jobs[job.job_id]
+    assert failed.state == FAILED
+    assert failed.error_class == "deadline"
+
+
+# --------------------------------------------------------------------- #
+# Fencing: reconnection identity, stale-token commits, duplicates
+# --------------------------------------------------------------------- #
+
+
+def test_reconnecting_worker_gets_new_id_and_stale_token_is_fenced(
+    tmp_path,
+):
+    pool = make_pool(tmp_path)
+    pool.submit("bfs", "baseline")
+    fleet = pool.fleet
+    old_id = fleet.register({})["worker_id"]
+    old_lease = fleet.lease(old_id)["job"]
+    # partition: the detector declares the worker dead, reclaims the cell
+    assert fleet.declare_dead(old_id, "partitioned") is True
+    # the reconnecting worker is a *new* identity with fresh tokens
+    new_id = fleet.register({})["worker_id"]
+    assert new_id != old_id
+    new_lease = fleet.lease(new_id)["job"]
+    assert new_lease["job_id"] == old_lease["job_id"]
+    assert new_lease["fence"] > old_lease["fence"]
+    # the zombie's in-flight commit presents the old token: answered,
+    # journaled as an audit record, discarded
+    verdict = fleet.commit(
+        old_id, old_lease["job_id"], old_lease["fence"], "done",
+        result={"cycles": 666.0},
+    )
+    assert verdict == {
+        "accepted": False,
+        "fenced": True,
+        "expected": new_lease["fence"],
+        "state": RUNNING,
+        "reregister": True,
+    }
+    assert pool.state.counters["fenced"] == 1
+    # the live generation's commit lands; the zombie's bytes are gone
+    landed = fleet.commit(
+        new_id, new_lease["job_id"], new_lease["fence"], "done",
+        result={"cycles": 42.0},
+    )
+    assert landed["accepted"] is True
+    job = pool.state.jobs[new_lease["job_id"]]
+    assert job.state == DONE
+    assert job.result == {"cycles": 42.0}
+    assert pool.state.counters["done"] == 1
+
+
+def test_duplicate_commit_is_acknowledged_idempotently(tmp_path):
+    pool = make_pool(tmp_path)
+    pool.submit("bfs", "baseline")
+    fleet = pool.fleet
+    worker_id = fleet.register({})["worker_id"]
+    lease = fleet.lease(worker_id)["job"]
+    first = fleet.commit(
+        worker_id, lease["job_id"], lease["fence"], "done",
+        result={"cycles": 1.0},
+    )
+    assert first == {"accepted": True, "state": DONE}
+    # a retry after a lost response re-delivers the same commit
+    again = fleet.commit(
+        worker_id, lease["job_id"], lease["fence"], "done",
+        result={"cycles": 1.0},
+    )
+    assert again == {"accepted": True, "duplicate": True, "state": DONE}
+    assert pool.state.counters["done"] == 1
+    assert pool.state.counters["fenced"] == 0
+
+
+def test_commit_from_detached_worker_is_fenced_even_with_current_token(
+    tmp_path,
+):
+    pool = make_pool(tmp_path)
+    pool.submit("bfs", "baseline")
+    fleet = pool.fleet
+    worker_id = fleet.register({})["worker_id"]
+    lease = fleet.lease(worker_id)["job"]
+    fleet.declare_dead(worker_id, "operator")
+    # reclamation advanced the fence, so even the token the worker was
+    # legitimately issued is stale now
+    verdict = fleet.commit(
+        worker_id, lease["job_id"], lease["fence"], "done",
+        result={"cycles": 1.0},
+    )
+    assert verdict["accepted"] is False
+    assert verdict["fenced"] is True
+    assert pool.state.jobs[lease["job_id"]].state == SUBMITTED
+
+
+def test_commit_validation(tmp_path):
+    pool = make_pool(tmp_path)
+    pool.submit("bfs", "baseline")
+    fleet = pool.fleet
+    worker_id = fleet.register({})["worker_id"]
+    lease = fleet.lease(worker_id)["job"]
+    with pytest.raises(ProtocolError):
+        fleet.commit(worker_id, lease["job_id"], lease["fence"], "maybe")
+    with pytest.raises(ProtocolError):
+        fleet.commit(worker_id, lease["job_id"], lease["fence"], "done")
+    with pytest.raises(ProtocolError):
+        fleet.commit(worker_id, "no:such", lease["fence"], "done",
+                     result={})
+
+
+# --------------------------------------------------------------------- #
+# WAL: replay identity, splice detection, restart semantics
+# --------------------------------------------------------------------- #
+
+
+def _rec(seq, rtype, payload):
+    return {"seq": seq, "type": rtype, "payload": payload}
+
+
+def _submitted(job_id="bfs:baseline"):
+    return Job(job_id=job_id, benchmark="bfs", config_name="baseline")
+
+
+def test_replay_refuses_stale_fence_in_done_record():
+    state = QueueState()
+    state.apply(_rec(1, "submit", {"job": _submitted().to_payload()}))
+    state.apply(_rec(2, "lease", {"job_id": "bfs:baseline", "owner": "w1",
+                                  "unix": 0.0, "fence": 2}))
+    state.apply(_rec(3, "start", {"job_id": "bfs:baseline"}))
+    with pytest.raises(JournalError):
+        state.apply(_rec(4, "done", {"job_id": "bfs:baseline",
+                                     "result": {}, "fence": 1}))
+
+
+def test_replay_refuses_spliced_lease_fence():
+    state = QueueState()
+    state.apply(_rec(1, "submit", {"job": _submitted().to_payload()}))
+    # a lease record whose fence disagrees with its own seq was spliced
+    # from another journal
+    with pytest.raises(JournalError):
+        state.apply(_rec(2, "lease", {"job_id": "bfs:baseline",
+                                      "owner": "w1", "unix": 0.0,
+                                      "fence": 99}))
+
+
+def test_fleet_journal_replays_identically(tmp_path):
+    pool = make_pool(tmp_path)
+    pool.submit("bfs", "baseline")
+    fleet = pool.fleet
+    old_id = fleet.register({"benchmarks": ["bfs"]})["worker_id"]
+    old_lease = fleet.lease(old_id)["job"]
+    fleet.declare_dead(old_id, "partitioned")
+    new_id = fleet.register({})["worker_id"]
+    new_lease = fleet.lease(new_id)["job"]
+    fleet.commit(new_id, new_lease["job_id"], new_lease["fence"], "done",
+                 result={"cycles": 42.0})
+    fleet.commit(old_id, old_lease["job_id"], old_lease["fence"], "done",
+                 result={"cycles": 666.0})  # fenced
+    fleet.deregister(new_id)
+    expected = pool.state.snapshot_payload()
+    pool.close()
+    for _ in range(2):  # replay is deterministic: twice, same answer
+        verify = SweepService(pool.directory, scale="micro", seed=0)
+        verify.recover(readonly=True)
+        assert verify.state.snapshot_payload() == expected
+        assert verify.state.counters["fenced"] == 1
+        assert verify.state.workers[old_id].state == WORKER_DEAD
+        assert verify.state.workers[new_id].state == WORKER_LEFT
+        lines = verify.status_lines()
+        assert any("fenced=1" in line for line in lines)
+        assert any(
+            line.startswith("worker") and old_id in line and "DEAD" in line
+            for line in lines
+        )
+        verify.close()
+
+
+def test_restart_declares_attached_workers_dead(tmp_path):
+    pool = make_pool(tmp_path)
+    pool.submit("bfs", "baseline")
+    worker_id = pool.fleet.register({})["worker_id"]
+    job_id = pool.fleet.lease(worker_id)["job"]["job_id"]
+    pool.close()  # daemon dies with the worker attached and leased
+    revived = SweepService(pool.directory, scale="micro", seed=0)
+    revived.recover()
+    worker = revived.state.workers[worker_id]
+    assert worker.state == WORKER_DEAD
+    assert worker.reason == "daemon restarted"
+    # the cell went back to the queue for the next incarnation
+    assert revived.state.jobs[job_id].state == SUBMITTED
+    revived.close()
+
+
+# --------------------------------------------------------------------- #
+# End-to-end over real sockets: partition, fencing, chaos shim
+# --------------------------------------------------------------------- #
+
+
+class DaemonHarness:
+    """A live daemon on a background thread, torn down on exit."""
+
+    def __init__(self, pool, **kwargs):
+        kwargs.setdefault("idle_poll", 0.02)
+        self.daemon = SweepDaemon(pool, **kwargs)
+        self.pool = pool
+        self.thread = threading.Thread(
+            target=self.daemon.serve_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self.thread.start()
+        client = DaemonClient(self.pool.directory, timeout=5.0)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                client.ping()
+                break
+            except Exception:
+                time.sleep(0.02)
+        else:
+            raise RuntimeError("daemon never came up")
+        self.client = client
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            self.client.shutdown()
+        except Exception:
+            pass
+        self.client.close()
+        self.thread.join(timeout=10.0)
+        assert not self.thread.is_alive(), "daemon failed to drain"
+
+
+def test_server_side_drop_is_absorbed_by_client_retry(tmp_path):
+    pool = make_pool(tmp_path)
+    with DaemonHarness(pool) as h:
+        set_net_faults(NetFaults([
+            NetFaultSpec("server", NetFaultKind.DROP, 1, "ping"),
+        ]))
+        h.client.timeout = 0.3
+        # the first ping vanishes server-side; the retry is answered
+        assert h.client.ping()["ok"] is True
+    assert pool.state.counters["done"] == 0
+
+
+def test_server_side_duplicate_is_absorbed_by_rq_discard(tmp_path):
+    pool = make_pool(tmp_path)
+    with DaemonHarness(pool) as h:
+        set_net_faults(NetFaults([
+            NetFaultSpec("server", NetFaultKind.DUPLICATE, 1, "ping"),
+        ]))
+        assert h.client.ping()["ok"] is True
+        # the duplicated response is still in the stream; the next
+        # exchange must discard it by its stale rq stamp, not deliver it
+        stats = h.client.stats()
+        assert stats["ok"] is True
+        assert "fleet" in stats
+
+
+def test_partition_fences_zombie_commit_end_to_end(tmp_path):
+    """The acceptance scenario over real sockets.
+
+    Worker A leases a cell, gets partitioned (every heartbeat dropped
+    by the ``net:`` shim), is declared dead, and its cell is reassigned
+    to worker B.  B's commit lands; A's late commit presents a stale
+    fencing token and is rejected, journaled, and counted — and the WAL
+    replays to the identical snapshot afterwards.
+    """
+    clk = {"now": 0.0}
+    pool = make_pool(tmp_path, clock=lambda: clk["now"], worker_ttl=3.0)
+    with DaemonHarness(pool, remote_only=True) as h:
+        job = h.client.submit("bfs", "baseline")
+        assert job["cached"] is False
+        worker_a = DaemonClient(pool.directory, timeout=0.5)
+        worker_a.side = "worker"
+        a_id = worker_a.register({"benchmarks": ["bfs"]})["worker_id"]
+        a_job = worker_a.lease_cell(a_id)["job"]
+        assert a_job["job_id"] == job["job_id"]
+        # partition A: every heartbeat it sends is lost in flight
+        set_net_faults(NetFaults([
+            NetFaultSpec("worker", NetFaultKind.DROP, 0, "heartbeat"),
+        ]))
+        with pytest.raises(DaemonUnavailable):
+            worker_a.worker_heartbeat(a_id, [a_job["job_id"]])
+        # silence past dead_after: the detector reaps A, reclaims
+        clk["now"] += 4.0
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            worker = pool.state.workers.get(a_id)
+            if worker is not None and worker.state == WORKER_DEAD:
+                break
+            time.sleep(0.02)
+        assert pool.state.workers[a_id].state == WORKER_DEAD
+        assert pool.state.jobs[job["job_id"]].state == SUBMITTED
+        # worker B picks the reclaimed cell up under a fresh token
+        worker_b = DaemonClient(pool.directory, timeout=5.0)
+        worker_b.side = "worker"
+        b_id = worker_b.register({})["worker_id"]
+        b_job = worker_b.lease_cell(b_id)["job"]
+        assert b_job["job_id"] == a_job["job_id"]
+        assert b_job["fence"] > a_job["fence"]
+        accepted = worker_b.request({
+            "op": "commit", "worker_id": b_id,
+            "job_id": b_job["job_id"], "fence": b_job["fence"],
+            "status": "done", "result": {"cycles": 42.0},
+        })
+        assert accepted["accepted"] is True
+        # A wakes up and tries to commit its stale generation
+        fenced = worker_a.request({
+            "op": "commit", "worker_id": a_id,
+            "job_id": a_job["job_id"], "fence": a_job["fence"],
+            "status": "done", "result": {"cycles": 666.0},
+        })
+        assert fenced["accepted"] is False
+        assert fenced["fenced"] is True
+        assert fenced["expected"] == b_job["fence"]
+        assert fenced["reregister"] is True
+        # the reassigned result is what the service serves
+        stats = h.client.stats()
+        assert stats["fleet"]["fenced"] == 1
+        final = pool.state.jobs[job["job_id"]]
+        assert final.state == DONE
+        assert final.result == {"cycles": 42.0}
+        worker_a.close()
+        worker_b.close()
+    # the WAL replays to the identical snapshot, fenced audit included
+    expected = pool.state.snapshot_payload()
+    verify = SweepService(pool.directory, scale="micro", seed=0)
+    verify.recover(readonly=True)
+    assert verify.state.snapshot_payload() == expected
+    assert verify.state.counters["fenced"] == 1
+    assert verify.state.counters["done"] == 1
+    assert any("fenced=1" in line for line in verify.status_lines())
+    verify.close()
