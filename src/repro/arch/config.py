@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass
 
 from ..engine.errors import ConfigError
-from ..translation.address import KB, PAGE_4K
+from ..translation.address import KB, PAGE_2M, PAGE_4K
 from ..translation.uvm import AllocationPolicy
 
 
@@ -55,6 +55,24 @@ class SharingPolicyKind(enum.Enum):
     ONE_BIT = "one_bit"
     COUNTER = "counter"
     ALL_TO_ALL = "all_to_all"
+
+
+class ReplacementKind(enum.Enum):
+    """Within-set replacement order for every TLB level."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+
+
+class CompressionKind(enum.Enum):
+    """Which large-reach entry format ``l1_tlb_compression`` selects."""
+
+    #: stride-1 range coalescing (Fig 12 comparator; base+length entries).
+    STRIDE = "stride"
+    #: subregion-contiguity bitmap entries (arXiv 2110.08613): one entry
+    #: per aligned region, anchor PPN + validity bitmap, so any subset of
+    #: a region's pages shares an entry as long as offsets are preserved.
+    CONTIGUITY = "contiguity"
 
 
 @dataclass(frozen=True)
@@ -134,6 +152,18 @@ class GPUConfig:
     compression_max_ratio: int = 2
     #: (de)compression sits on the L1 lookup critical path (paper §V)
     compression_latency: float = 2.0
+    #: entry format used when compression is enabled (zoo mechanism 2)
+    compression_kind: CompressionKind = CompressionKind.STRIDE
+
+    # --- Translation-mechanism zoo ------------------------------------- #
+    #: within-set replacement order for the TLBs
+    l1_tlb_replacement: ReplacementKind = ReplacementKind.LRU
+    #: dead-entry miss protection (arXiv 2606.00486): predict fills whose
+    #: entry will die unused and bypass them instead of evicting a live one
+    l1_tlb_dead_entry: bool = False
+    #: consecutive dead fills of a VPN before its fills bypass; None = an
+    #: infinite threshold, i.e. the predictor observes but never bypasses
+    dead_entry_threshold: "int | None" = 2
 
     def __post_init__(self) -> None:
         # Every check names the offending field so a sweep script (or a
@@ -206,6 +236,30 @@ class GPUConfig:
                 f"max_threads_per_sm ({self.max_threads_per_sm}) must be a "
                 f"multiple of warp_size ({self.warp_size})",
                 field="max_threads_per_sm",
+            )
+        if self.dead_entry_threshold is not None \
+                and self.dead_entry_threshold <= 0:
+            raise ConfigError(
+                f"dead_entry_threshold must be positive or None "
+                f"(got {self.dead_entry_threshold!r})",
+                field="dead_entry_threshold",
+            )
+        if self.l1_tlb_dead_entry and self.l1_tlb_compression:
+            # A compressed entry aggregates many pages, so "this fill's
+            # entry died unused" is ill-defined; refuse the combination
+            # rather than silently mispredicting.
+            raise ConfigError(
+                "l1_tlb_dead_entry cannot be combined with "
+                "l1_tlb_compression (dead-entry tracking is per page)",
+                field="l1_tlb_dead_entry",
+            )
+        if self.allocation_policy is AllocationPolicy.MOSAIC \
+                and self.page_size >= PAGE_2M:
+            raise ConfigError(
+                f"allocation_policy 'mosaic' groups base pages into 2 MB "
+                f"regions, so page_size must be < {PAGE_2M} "
+                f"(got {self.page_size})",
+                field="allocation_policy",
             )
         if self.l1_tlb_mode is not L1TLBMode.BASELINE:
             sets = self.l1_tlb_entries // self.l1_tlb_assoc

@@ -290,25 +290,49 @@ def _compare_row(name: str, result, base: Optional[float]) -> str:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    if args.specs and (args.service or args.service_dir):
+        raise ConfigError(
+            "--specs resolves registry spec strings inline; the sweep "
+            "service queue only knows named configurations (--configs)"
+        )
     if args.service or args.service_dir:
         return _compare_via_service(args)
     runner = _make_runner(args)
+    if args.specs:
+        # resolve every spec up front: a typo fails with exit code 3
+        # before any cell simulates
+        from .translation.registry import default_registry
+
+        registry = default_registry()
+        names = [spec or "registry-default" for spec in args.specs]
+        cells = [
+            (name, registry.resolve(spec))
+            for name, spec in zip(names, args.specs)
+        ]
+    else:
+        names = list(args.configs)
+        cells = None
     base = None
     print(_COMPARE_HEADER)
     with GracefulInterrupt() as interrupt:
         i = 0
         try:
-            if runner.parallel > 1:
-                runner.prefetch([(args.benchmark, n) for n in args.configs])
-            for i, name in enumerate(args.configs):
-                result = runner.run(args.benchmark, name)
+            if runner.parallel > 1 and cells is None:
+                runner.prefetch([(args.benchmark, n) for n in names])
+            for i, name in enumerate(names):
+                if cells is not None:
+                    result = runner.run_config(
+                        args.benchmark, cells[i][1], name
+                    )
+                else:
+                    result = runner.run(args.benchmark, name)
                 if base is None:
                     base = result.cycles
                 print(_compare_row(name, result, base))
         except InterruptedRunError:
             # the interrupted cell and everything after it degrade to
             # FAILED(interrupted) rows; finished rows already printed
-            for name in args.configs[i:]:
+            for name in names[i:]:
                 print(f"{name:20s} {'FAILED(interrupted)':>8s}")
             _drain_runner(runner, interrupt)
             raise
@@ -480,6 +504,15 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("\nconfigurations:")
     for name in CONFIGS:
         print(f"  {name}")
+    from .translation.registry import ZOO_SPECS, default_registry
+
+    print("\ntranslation-policy registry (compare --specs "
+          "'dim=component,...'):")
+    for line in default_registry().describe():
+        print(f"  {line}")
+    print("\nzoo ablation matrix (report 'Ext: translation zoo'):")
+    for name, spec in ZOO_SPECS.items():
+        print(f"  {name:16s} {spec or '(registry defaults)'}")
     print("\nscales:")
     for name, scale in sorted(SCALES.items(), key=lambda kv: kv[1].size_factor):
         print(f"  {name:6s} size x{scale.size_factor:g}, "
@@ -865,6 +898,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument(
         "--configs", nargs="+", default=["baseline", "partition_sharing"],
         choices=sorted(CONFIGS),
+    )
+    p_cmp.add_argument(
+        "--specs", nargs="+", default=None, metavar="SPEC",
+        help="compare translation-registry spec strings instead of named "
+             "configs (e.g. '' compress=contiguity "
+             "pagesize=mosaic,compress=contiguity); see 'repro list' for "
+             "the dimension=component table; first row is the "
+             "normalization base",
     )
     p_cmp.add_argument(
         "--service", action="store_true",

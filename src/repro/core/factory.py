@@ -5,11 +5,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..arch.config import GPUConfig, L1TLBMode, SharingPolicyKind
+from ..arch.config import CompressionKind, GPUConfig, L1TLBMode, SharingPolicyKind
 from ..engine.stats import StatGroup
-from ..translation.compression import CompressedTLB
-from ..translation.tlb import SetAssociativeTLB
-from .partitioned_tlb import CompressedPartitionedL1TLB, PartitionedL1TLB
+from ..translation.compression import CompressedTLB, ContiguityTLB
+from ..translation.tlb import DeadEntryFilter, SetAssociativeTLB
+from .partitioned_tlb import (
+    CompressedPartitionedL1TLB,
+    ContiguityPartitionedL1TLB,
+    PartitionedL1TLB,
+)
 from .set_sharing import (
     AllToAllSharingRegister,
     CounterSharingRegister,
@@ -34,16 +38,25 @@ def build_l1_tlb(
 ) -> SetAssociativeTLB:
     """Construct one SM's L1 TLB for the configured mode.
 
-    The four corners: baseline / partitioned(+sharing), each optionally
-    with the stride-compression comparator layered on the storage.
+    The corners: baseline / partitioned(+sharing), each optionally with
+    a large-reach entry format (stride ranges or subregion-contiguity
+    bitmaps) layered on the storage, an optional dead-entry filter
+    attached on top, and the configured replacement order throughout.
     """
     mode = config.l1_tlb_mode
+    replacement = config.l1_tlb_replacement.value
     sharing = None
     if mode is L1TLBMode.PARTITIONED_SHARING:
         sharing = build_sharing_register(config)
+    tlb: SetAssociativeTLB
     if mode is L1TLBMode.BASELINE:
         if config.l1_tlb_compression:
-            return CompressedTLB(
+            cls = (
+                ContiguityTLB
+                if config.compression_kind is CompressionKind.CONTIGUITY
+                else CompressedTLB
+            )
+            tlb = cls(
                 config.l1_tlb_entries,
                 config.l1_tlb_assoc,
                 config.l1_tlb_latency,
@@ -51,17 +64,25 @@ def build_l1_tlb(
                 decompression_latency=config.compression_latency,
                 stats=stats,
                 name=name,
+                replacement=replacement,
             )
-        return SetAssociativeTLB(
-            config.l1_tlb_entries,
-            config.l1_tlb_assoc,
-            config.l1_tlb_latency,
-            stats=stats,
-            name=name,
-        )
-    if mode in (L1TLBMode.PARTITIONED, L1TLBMode.PARTITIONED_SHARING):
+        else:
+            tlb = SetAssociativeTLB(
+                config.l1_tlb_entries,
+                config.l1_tlb_assoc,
+                config.l1_tlb_latency,
+                stats=stats,
+                name=name,
+                replacement=replacement,
+            )
+    elif mode in (L1TLBMode.PARTITIONED, L1TLBMode.PARTITIONED_SHARING):
         if config.l1_tlb_compression:
-            return CompressedPartitionedL1TLB(
+            part_cls = (
+                ContiguityPartitionedL1TLB
+                if config.compression_kind is CompressionKind.CONTIGUITY
+                else CompressedPartitionedL1TLB
+            )
+            tlb = part_cls(
                 config.l1_tlb_entries,
                 config.l1_tlb_assoc,
                 config.l1_tlb_latency,
@@ -70,13 +91,24 @@ def build_l1_tlb(
                 sharing=sharing,
                 stats=stats,
                 name=name,
+                replacement=replacement,
             )
-        return PartitionedL1TLB(
-            config.l1_tlb_entries,
-            config.l1_tlb_assoc,
-            config.l1_tlb_latency,
-            sharing=sharing,
-            stats=stats,
-            name=name,
+        else:
+            tlb = PartitionedL1TLB(
+                config.l1_tlb_entries,
+                config.l1_tlb_assoc,
+                config.l1_tlb_latency,
+                sharing=sharing,
+                stats=stats,
+                name=name,
+                replacement=replacement,
+            )
+    else:
+        raise ValueError(f"unknown L1 TLB mode {mode!r}")
+    if config.l1_tlb_dead_entry:
+        # GPUConfig.__post_init__ already refused dead-entry + compression,
+        # so the filter only ever sees per-page storage.
+        tlb.attach_dead_filter(
+            DeadEntryFilter(config.dead_entry_threshold, stats=tlb.stats)
         )
-    raise ValueError(f"unknown L1 TLB mode {mode!r}")
+    return tlb

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from ..engine.stats import StatGroup
-from ..translation.compression import CompressedTLB
+from ..translation.compression import CompressedTLB, ContiguityTLB
 from ..translation.tlb import IndexPolicy, SetAssociativeTLB
 from .set_sharing import AllToAllSharingRegister, SharingRegister
 
@@ -271,11 +271,13 @@ class PartitionedL1TLB(_PartitioningMixin, SetAssociativeTLB):
         occupancy: Optional[int] = None,
         stats: Optional[StatGroup] = None,
         name: str = "l1_tlb_part",
+        replacement: str = "lru",
     ) -> None:
         num_sets = num_entries // associativity
         policy = TBIDIndexPolicy(num_sets, occupancy=occupancy, sharing=sharing)
         super().__init__(
-            num_entries, associativity, lookup_latency, policy, stats, name
+            num_entries, associativity, lookup_latency, policy, stats, name,
+            replacement=replacement,
         )
         self._init_partitioning(sharing)
 
@@ -295,6 +297,7 @@ class CompressedPartitionedL1TLB(_PartitioningMixin, CompressedTLB):
         occupancy: Optional[int] = None,
         stats: Optional[StatGroup] = None,
         name: str = "l1_tlb_part_comp",
+        replacement: str = "lru",
     ) -> None:
         num_sets = num_entries // associativity
         policy = TBIDIndexPolicy(
@@ -310,5 +313,42 @@ class CompressedPartitionedL1TLB(_PartitioningMixin, CompressedTLB):
             policy=policy,
             stats=stats,
             name=name,
+            replacement=replacement,
+        )
+        self._init_partitioning(sharing)
+
+
+class ContiguityPartitionedL1TLB(_PartitioningMixin, ContiguityTLB):
+    """TB-id partitioning over subregion-contiguity bitmap entries
+    (ours + arXiv 2110.08613, the zoo's large-reach configuration)."""
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        lookup_latency: float,
+        max_ratio: int = 8,
+        decompression_latency: float = 1.0,
+        sharing: Optional[SharingRegister] = None,
+        occupancy: Optional[int] = None,
+        stats: Optional[StatGroup] = None,
+        name: str = "l1_tlb_part_contig",
+        replacement: str = "lru",
+    ) -> None:
+        num_sets = num_entries // associativity
+        policy = TBIDIndexPolicy(
+            num_sets, occupancy=occupancy, sharing=sharing,
+            granularity=max_ratio,
+        )
+        super().__init__(
+            num_entries,
+            associativity,
+            lookup_latency,
+            max_ratio=max_ratio,
+            decompression_latency=decompression_latency,
+            policy=policy,
+            stats=stats,
+            name=name,
+            replacement=replacement,
         )
         self._init_partitioning(sharing)

@@ -15,7 +15,14 @@ compression         baseline + PACT'20 stride-compressed L1 TLB (Fig 12)
 comp_ours           compression + scheduling + partitioning + sharing
 huge_baseline       baseline on 2 MB pages (§V large-page study)
 huge_ours           partition_sharing on 2 MB pages
+dead_entry          zoo: dead-entry fill prediction + bypass
+contiguity          zoo: subregion-contiguity large-reach entries
+mosaic              zoo: Mosaic allocation + contiguity entries
 ==================  ====================================================
+
+The zoo rows are *resolved from registry spec strings*
+(:mod:`repro.translation.registry`), not hand-built — the registry is
+the single source of truth for what each mechanism toggles.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from ..arch.config import (
     TBSchedulerKind,
 )
 from ..translation.address import PAGE_2M
+from ..translation.registry import resolve_spec
 
 BASELINE = BASELINE_CONFIG
 
@@ -48,6 +56,12 @@ HUGE_BASELINE = BASELINE.replace(page_size=PAGE_2M)
 
 HUGE_OURS = PARTITION_SHARING.replace(page_size=PAGE_2M)
 
+DEAD_ENTRY = resolve_spec("protect=deadentry")
+
+CONTIGUITY = resolve_spec("compress=contiguity")
+
+MOSAIC = resolve_spec("pagesize=mosaic,compress=contiguity")
+
 CONFIGS: Dict[str, GPUConfig] = {
     "baseline": BASELINE,
     "l1_256": L1_256,
@@ -58,6 +72,9 @@ CONFIGS: Dict[str, GPUConfig] = {
     "comp_ours": COMP_OURS,
     "huge_baseline": HUGE_BASELINE,
     "huge_ours": HUGE_OURS,
+    "dead_entry": DEAD_ENTRY,
+    "contiguity": CONTIGUITY,
+    "mosaic": MOSAIC,
 }
 
 

@@ -37,6 +37,7 @@ from . import (
     oversubscription,
     tenancy,
     timeseries,
+    zoo,
 )
 from .runner import ExperimentRunner, ShapeCheck, summarize_checks
 from .tables import format_table3, run_table2, table3_checks
@@ -178,6 +179,9 @@ def run_all(
         ("Ext: tenancy",
          "multi-tenant isolation & interference (partition modes)",
          tenancy.run),
+        ("Ext: translation zoo",
+         "registry-generated mechanism ablation (policy zoo)",
+         zoo.run),
     ]
     for exp_id, title, run_fn in figures:
         guarded(

@@ -16,7 +16,9 @@ actually detects its violation class.
 """
 
 from .checkers import (
+    DeadEntryChecker,
     LifecycleChecker,
+    MosaicChecker,
     PartitionChecker,
     QueueChecker,
     StatusTableChecker,
@@ -49,6 +51,8 @@ __all__ = [
     "LifecycleChecker",
     "StatusTableChecker",
     "TenantIsolationChecker",
+    "DeadEntryChecker",
+    "MosaicChecker",
     "CheckOutcome",
     "SUITES",
     "run_suites",

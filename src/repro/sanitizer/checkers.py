@@ -44,11 +44,18 @@ Tag inventory (stable; documented in DESIGN.md §8):
                             their owner tenant's SM slice / set slice
 24 tenant.asid_leak          page-table lookups never resolve another
                             tenant's ASID (VPN tag == PPN tag)
+25 tlb.dead_bypass_live      dead-entry filter bookkeeping mirrors the
+                            TLB: pending fills resident, no resident
+                            VPN past its bypass threshold
+26 alloc.mosaic_overlap      mosaic regions are injective and their
+                            per-region page counts consistent
 == ========================= ==========================================
 
 Tags 23-24 are registered by
 :func:`repro.tenancy.machine.build_tenant_gpu` (multi-tenant runs only);
-the rest by :func:`repro.system.build_gpu` and the tenant builder alike.
+tag 25 only when the config enables dead-entry protection and tag 26
+only under mosaic allocation; the rest by
+:func:`repro.system.build_gpu` and the tenant builder alike.
 """
 
 from __future__ import annotations
@@ -647,3 +654,109 @@ class StatusTableChecker:
     # -- injection ------------------------------------------------------ #
     def _inject_status_range(self) -> None:
         self.scheduler.table._entries[0].ema_miss_rate = 1.5
+
+
+class DeadEntryChecker:
+    """Dead-entry filter bookkeeping vs the TLB it protects (tag 25).
+
+    Two invariants tie the predictor to reality:
+
+    * every VPN the filter still considers *pending* (filled, verdict
+      outstanding) must actually be resident in the TLB — a pending
+      VPN that is gone means an eviction or invalidation bypassed the
+      filter's callbacks, so its streaks (and thus bypass decisions)
+      are built on fiction;
+    * no *resident* VPN may carry a streak at or past the bypass
+      threshold — its fill should have been bypassed, so its presence
+      means the bypass gate was skipped.
+    """
+
+    def __init__(self, tlb) -> None:
+        self.tlb = tlb
+        self.injectors = {"tlb.dead_bypass_live": self._inject_phantom}
+
+    def sweep(self, san, sim) -> None:
+        tlb = self.tlb
+        filt = tlb.dead_filter
+        if filt is None:
+            return
+        resident = set()
+        for entry_set in tlb.sets:
+            resident.update(entry_set)
+        for vpn in filt._pending:
+            if vpn not in resident:
+                san.violation(
+                    "tlb.dead_bypass_live",
+                    f"{tlb.name} dead-entry filter tracks a fill that is "
+                    f"no longer resident",
+                    {"tlb": tlb.name, "vpn": vpn,
+                     "pending": len(filt._pending)},
+                )
+        threshold = filt.threshold
+        if threshold is None:
+            return
+        for vpn in resident:
+            if filt._streak.get(vpn, 0) >= threshold:
+                san.violation(
+                    "tlb.dead_bypass_live",
+                    f"{tlb.name} holds a VPN whose fill should have been "
+                    f"bypassed (streak at threshold)",
+                    {"tlb": tlb.name, "vpn": vpn,
+                     "streak": filt._streak.get(vpn, 0),
+                     "threshold": threshold},
+                )
+
+    # -- injection ------------------------------------------------------ #
+    def _inject_phantom(self) -> None:
+        # a pending fill for a VPN the TLB has never held
+        self.tlb.dead_filter._pending.add(-7)
+
+
+class MosaicChecker:
+    """Mosaic allocator structural invariants (tag 26).
+
+    The whole point of mosaic placement is that distinct virtual
+    regions own *distinct* physical regions (frames never overlap) and
+    that per-region residency counts stay within ``(0,
+    pages_per_region]`` and in lockstep with the region map — a drifted
+    count would leak or double-free physical regions on release.
+    """
+
+    def __init__(self, uvm) -> None:
+        self.uvm = uvm
+        self.injectors = {"alloc.mosaic_overlap": self._inject_overlap}
+
+    def sweep(self, san, sim) -> None:
+        mosaic = self.uvm.mosaic
+        if mosaic is None:
+            return
+        owners: Dict[int, int] = {}
+        for vregion, pregion in mosaic._regions.items():
+            if pregion in owners:
+                san.violation(
+                    "alloc.mosaic_overlap",
+                    "two virtual regions mapped onto one physical region",
+                    {"physical_region": pregion,
+                     "virtual_regions": [owners[pregion], vregion]},
+                )
+            owners[pregion] = vregion
+        ppr = mosaic.pages_per_region
+        for vregion, count in mosaic._region_pages.items():
+            if vregion not in mosaic._regions or not 0 < count <= ppr:
+                san.violation(
+                    "alloc.mosaic_overlap",
+                    "mosaic per-region page count inconsistent with the "
+                    "region map",
+                    {"virtual_region": vregion, "count": count,
+                     "pages_per_region": ppr,
+                     "committed": vregion in mosaic._regions},
+                )
+
+    # -- injection ------------------------------------------------------ #
+    def _inject_overlap(self) -> None:
+        # two phantom virtual regions sharing one physical region
+        mosaic = self.uvm.mosaic
+        mosaic._regions[-1] = 999_999
+        mosaic._regions[-2] = 999_999
+        mosaic._region_pages[-1] = 1
+        mosaic._region_pages[-2] = 1

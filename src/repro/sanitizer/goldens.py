@@ -35,9 +35,18 @@ GOLDEN_METRICS = (
     "tbs_completed",
 )
 
-#: default golden matrix: the paper's mechanism spine at minimal cost
+#: default golden matrix: the paper's mechanism spine at minimal cost,
+#: plus the registry-resolved translation-zoo mechanisms
 GOLDEN_BENCHMARKS = ("bfs", "atax")
-GOLDEN_CONFIGS = ("baseline", "sched", "partition_sharing", "comp_ours")
+GOLDEN_CONFIGS = (
+    "baseline",
+    "sched",
+    "partition_sharing",
+    "comp_ours",
+    "dead_entry",
+    "contiguity",
+    "mosaic",
+)
 
 #: relative tolerance written into fresh golden files (exact-ish: the
 #: simulator is deterministic; this only absorbs float serialization)

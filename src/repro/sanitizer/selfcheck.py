@@ -21,6 +21,15 @@ the property fails a first-class gate instead of skewing figures:
   the entire tenancy layer (ASID relocation at offset 0, the ASID
   router, tenant-aware scheduling and metrics collection) must be a
   transparent no-op at n=1.
+* ``registry-identity`` — the policy registry's all-defaults spec must
+  resolve to a config equal to the hand-built ``BASELINE_CONFIG`` *and*
+  simulate byte-identically to the named ``baseline`` configuration.
+* ``contiguity-degenerate`` — the subregion-contiguity TLB at
+  ``max_ratio=1`` (every region is one page) must be access-for-access
+  equivalent to the stock set-associative TLB.
+* ``deadentry-identity`` — the dead-entry filter at ``threshold=None``
+  (infinite) observes but never bypasses, so the protected TLB must be
+  access-for-access equivalent to an unprotected one.
 
 Suites return :class:`CheckOutcome` records rather than raising, so the
 CLI can run all of them and report every failure at once.
@@ -303,6 +312,145 @@ def suite_tenancy_identity(scale: str, seed: int) -> CheckOutcome:
     )
 
 
+# ---------------------------------------------------------------------- #
+# Translation-zoo metamorphic identities
+# ---------------------------------------------------------------------- #
+def _drive_tlb_pair(
+    name: str, seed: int, tlb_a, tlb_b, ops: int = 20_000
+) -> Optional[CheckOutcome]:
+    """Drive two TLBs with one random stream; ``None`` means identical.
+
+    The stream mixes probes/inserts with 2% invalidations and 0.2%
+    flushes — the same shape the ``tlb-sharing`` suite uses.
+    """
+    rng = Random(seed)
+    for step in range(ops):
+        roll = rng.random()
+        if roll < 0.02:
+            vpn = rng.randrange(256)
+            tlb_a.invalidate(vpn)
+            tlb_b.invalidate(vpn)
+            continue
+        if roll < 0.022:
+            tlb_a.flush()
+            tlb_b.flush()
+            continue
+        vpn = rng.randrange(256)
+        res_a = tlb_a.probe(vpn)
+        res_b = tlb_b.probe(vpn)
+        if (res_a.hit, res_a.ppn) != (res_b.hit, res_b.ppn):
+            return CheckOutcome(
+                name, False,
+                f"step {step}: probe(vpn={vpn}) diverged — "
+                f"({res_a.hit}, {res_a.ppn}) != ({res_b.hit}, {res_b.ppn})",
+            )
+        if not res_a.hit:
+            ppn = vpn * 7 + 1
+            tlb_a.insert(vpn, ppn)
+            tlb_b.insert(vpn, ppn)
+    for label, a, b in (
+        ("hits", tlb_a.hits, tlb_b.hits),
+        ("misses", tlb_a.misses, tlb_b.misses),
+        ("evictions", tlb_a.stats.counter_value("evictions"),
+         tlb_b.stats.counter_value("evictions")),
+    ):
+        if a != b:
+            return CheckOutcome(name, False, f"{label} diverged: {a} != {b}")
+    return None
+
+
+def suite_registry_identity(scale: str, seed: int) -> CheckOutcome:
+    """Registry all-defaults spec ≡ hand-constructed baseline config.
+
+    Two layers: the resolved dataclass must *equal* ``BASELINE_CONFIG``
+    (field-for-field), and simulating through it must produce the named
+    ``baseline`` configuration's result byte-identically — proving the
+    registry's wiring path adds nothing.
+    """
+    from ..arch.config import BASELINE_CONFIG
+    from ..engine.supervision import CellSpec, simulate_cell
+    from ..translation.registry import default_registry
+
+    registry = default_registry()
+    resolved = registry.resolve(registry.default_spec())
+    if resolved != BASELINE_CONFIG:
+        return CheckOutcome(
+            "registry-identity", False,
+            f"resolve({registry.default_spec()!r}) != BASELINE_CONFIG",
+        )
+    base = _result_payload(simulate_cell(CellSpec(
+        benchmark=_CELL_BENCHMARK, config=BASELINE_CONFIG,
+        config_tag="baseline", scale=scale, seed=seed, sanitize="off",
+    )))
+    via_registry = _result_payload(simulate_cell(CellSpec(
+        benchmark=_CELL_BENCHMARK, config=resolved,
+        config_tag="baseline", scale=scale, seed=seed, sanitize="off",
+    )))
+    diff = _diff_payloads(base, via_registry)
+    if diff is not None:
+        return CheckOutcome("registry-identity", False, diff)
+    return CheckOutcome(
+        "registry-identity", True,
+        f"default spec resolves to baseline; {_CELL_BENCHMARK} "
+        f"byte-identical through the registry",
+    )
+
+
+def suite_contiguity_degenerate(scale: str, seed: int) -> CheckOutcome:
+    """Contiguity TLB at max_ratio=1 ≡ stock TLB (run length 1).
+
+    With one page per region the bitmap is always ``0b1`` and the anchor
+    is the page's own frame, so probes, inserts, invalidations, and the
+    hit/miss/eviction counters must match the stock TLB exactly.
+    ``decompression_latency=0`` removes the only intended difference
+    (the critical-path adder).  ``scale`` unused (component level).
+    """
+    from ..translation.compression import ContiguityTLB
+    from ..translation.tlb import SetAssociativeTLB
+
+    stock = SetAssociativeTLB(64, 4, 1.0, name="stock_ref")
+    contig = ContiguityTLB(
+        64, 4, 1.0, max_ratio=1, decompression_latency=0.0, name="contig1"
+    )
+    failure = _drive_tlb_pair("contiguity-degenerate", seed, stock, contig)
+    if failure is not None:
+        return failure
+    return CheckOutcome(
+        "contiguity-degenerate", True,
+        f"{stock.accesses} accesses identical at run length 1",
+    )
+
+
+def suite_deadentry_identity(scale: str, seed: int) -> CheckOutcome:
+    """Dead-entry filter at threshold=∞ ≡ no filter (never bypasses).
+
+    ``threshold=None`` keeps the predictor observing (dead fills are
+    still counted) but disables the bypass gate, so the protected TLB's
+    externally visible behaviour must match an unprotected TLB on any
+    stream — and ``bypassed_fills`` must end at zero.  ``scale`` unused
+    (component level).
+    """
+    from ..translation.tlb import DeadEntryFilter, SetAssociativeTLB
+
+    plain = SetAssociativeTLB(64, 4, 1.0, name="plain_ref")
+    protected = SetAssociativeTLB(64, 4, 1.0, name="protected")
+    protected.attach_dead_filter(DeadEntryFilter(threshold=None))
+    failure = _drive_tlb_pair("deadentry-identity", seed, plain, protected)
+    if failure is not None:
+        return failure
+    bypassed = protected.dead_filter.bypassed_fills
+    if bypassed != 0:
+        return CheckOutcome(
+            "deadentry-identity", False,
+            f"threshold=None bypassed {bypassed} fills (must be 0)",
+        )
+    return CheckOutcome(
+        "deadentry-identity", True,
+        f"{plain.accesses} accesses identical with an infinite threshold "
+        f"({protected.dead_filter.dead_fills} dead fills observed)",
+    )
+
+
 #: suite registry: name -> fn(scale, seed) -> CheckOutcome
 SUITES: Dict[str, Callable[[str, int], CheckOutcome]] = {
     "tlb-sharing": suite_tlb_sharing,
@@ -310,6 +458,9 @@ SUITES: Dict[str, Callable[[str, int], CheckOutcome]] = {
     "sanitizer": suite_sanitizer,
     "resume": suite_resume,
     "tenancy-identity": suite_tenancy_identity,
+    "registry-identity": suite_registry_identity,
+    "contiguity-degenerate": suite_contiguity_degenerate,
+    "deadentry-identity": suite_deadentry_identity,
 }
 
 

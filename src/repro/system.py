@@ -31,7 +31,7 @@ from .memory.subsystem import SMMemoryPath
 from .translation.pagesize import geometry_for
 from .translation.service import SharedTranslationService
 from .translation.tlb import SetAssociativeTLB
-from .translation.uvm import UVMManager
+from .translation.uvm import AllocationPolicy, UVMManager
 from .translation.walker import WalkerPool
 
 
@@ -66,6 +66,13 @@ def build_gpu(
         policy=config.allocation_policy,
         far_fault_latency=config.far_fault_latency,
         gpu_memory_bytes=config.gpu_memory_bytes,
+        # only mosaic records allocator counters; an unconditional group
+        # would change every config's stats dump (golden identity)
+        stats=(
+            sim.stats.group("uvm")
+            if config.allocation_policy is AllocationPolicy.MOSAIC
+            else None
+        ),
     )
     walkers = WalkerPool(
         uvm,
@@ -167,15 +174,19 @@ def build_gpu(
             "resident_tbs", lambda: sum(len(sm.resident) for sm in sms)
         )
     if sim.sanitizer is not None:
-        _register_checkers(sim, sms, l2_tlb, walkers, translation, scheduler)
+        _register_checkers(sim, sms, l2_tlb, walkers, translation, scheduler, uvm)
     return GPU(sim, config, geometry, sms, scheduler, l2_tlb, walkers, partitions)
 
 
-def _register_checkers(sim, sms, l2_tlb, walkers, translation, scheduler) -> None:
+def _register_checkers(
+    sim, sms, l2_tlb, walkers, translation, scheduler, uvm=None
+) -> None:
     """Attach the sanitizer's component checkers to a built machine."""
     from .core.tb_scheduler import TLBAwareScheduler
     from .sanitizer import (
+        DeadEntryChecker,
         LifecycleChecker,
+        MosaicChecker,
         PartitionChecker,
         QueueChecker,
         StatusTableChecker,
@@ -191,10 +202,14 @@ def _register_checkers(sim, sms, l2_tlb, walkers, translation, scheduler) -> Non
         if hasattr(sm.l1_tlb.policy, "sets_for"):
             # TB-id-partitioned TLB (with or without a sharing register)
             san.register(PartitionChecker(sm.l1_tlb))
+        if sm.l1_tlb.dead_filter is not None:
+            san.register(DeadEntryChecker(sm.l1_tlb))
     san.register(WalkerChecker(walkers, translation))
     san.register(LifecycleChecker(sms).bind(san))
     if isinstance(scheduler, TLBAwareScheduler):
         san.register(StatusTableChecker(scheduler))
+    if uvm is not None and uvm.mosaic is not None:
+        san.register(MosaicChecker(uvm))
 
 
 def run_kernel(

@@ -10,18 +10,43 @@ from .address import (
     PAGE_4K,
     PageGeometry,
 )
-from .compression import CompressedTLB
+from .compression import CompressedTLB, ContiguityTLB
 from .page_table import PageTable, WalkOutcome
-from .pagesize import FragmentationReport, fragmentation_from_addresses, geometry_for
+from .pagesize import (
+    FragmentationReport,
+    MosaicAllocator,
+    fragmentation_from_addresses,
+    geometry_for,
+)
+from .registry import (
+    ZOO_SPECS,
+    Component,
+    PolicyRegistry,
+    default_registry,
+    resolve_spec,
+    zoo_matrix,
+)
 from .service import SharedTranslationService
-from .tlb import IndexPolicy, SetAssociativeTLB, TLBProbeResult, VPNIndexPolicy
+from .tlb import (
+    DeadEntryFilter,
+    IndexPolicy,
+    SetAssociativeTLB,
+    TLBProbeResult,
+    VPNIndexPolicy,
+)
 from .uvm import AllocationPolicy, UVMManager
 from .walker import WalkerPool
 
 __all__ = [
     "AllocationPolicy",
+    "Component",
     "CompressedTLB",
+    "ContiguityTLB",
+    "DeadEntryFilter",
     "FragmentationReport",
+    "MosaicAllocator",
+    "PolicyRegistry",
+    "ZOO_SPECS",
     "GB",
     "GEOMETRY_2M",
     "GEOMETRY_4K",
@@ -39,6 +64,9 @@ __all__ = [
     "VPNIndexPolicy",
     "WalkOutcome",
     "WalkerPool",
+    "default_registry",
     "fragmentation_from_addresses",
     "geometry_for",
+    "resolve_spec",
+    "zoo_matrix",
 ]

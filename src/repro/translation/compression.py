@@ -39,6 +39,7 @@ class CompressedTLB(SetAssociativeTLB):
         policy: Optional[IndexPolicy] = None,
         stats: Optional[StatGroup] = None,
         name: str = "ctlb",
+        replacement: str = "lru",
     ) -> None:
         if max_ratio <= 0:
             raise ValueError(f"max_ratio must be positive, got {max_ratio}")
@@ -46,7 +47,8 @@ class CompressedTLB(SetAssociativeTLB):
         if policy is None:
             policy = VPNIndexPolicy(num_sets, granularity=max_ratio)
         super().__init__(
-            num_entries, associativity, lookup_latency, policy, stats, name
+            num_entries, associativity, lookup_latency, policy, stats, name,
+            replacement=replacement,
         )
         self.max_ratio = max_ratio
         self.decompression_latency = decompression_latency
@@ -68,7 +70,8 @@ class CompressedTLB(SetAssociativeTLB):
         entry_set = self.sets[set_idx]
         for base, (base_ppn, length) in entry_set.items():
             if self._covers(base, length, vpn):
-                entry_set.move_to_end(base)
+                if self._refresh_lru:
+                    entry_set.move_to_end(base)
                 return base_ppn + (vpn - base)
         return None
 
@@ -85,7 +88,8 @@ class CompressedTLB(SetAssociativeTLB):
         for base, (base_ppn, length) in list(entry_set.items()):
             if self._covers(base, length, vpn):
                 if base_ppn + (vpn - base) == ppn:
-                    entry_set.move_to_end(base)
+                    if self._refresh_lru:
+                        entry_set.move_to_end(base)
                     return True
                 # Remapped page: drop the stale range, re-insert fresh.
                 del entry_set[base]
@@ -146,4 +150,119 @@ class CompressedTLB(SetAssociativeTLB):
         """Total translations reachable from currently valid entries."""
         return sum(
             length for s in self.sets for (_ppn, length) in s.values()
+        )
+
+
+class ContiguityTLB(CompressedTLB):
+    """Subregion-contiguity large-reach entries (arXiv 2110.08613).
+
+    A strict generalization of the stride-range format: one entry covers
+    an *aligned* region of ``max_ratio`` pages via an anchor PPN plus a
+    validity bitmap, so any subset of the region's pages — not just a
+    prefix run — shares the entry, as long as each page's frame sits at
+    its region offset from the anchor (``ppn - offset == anchor``).
+    Storage layout: each set maps ``region_base_vpn -> (anchor_ppn,
+    bitmap)``.  A contiguity run of 1 (``max_ratio=1``) degenerates to
+    exactly the stride format's single-page behavior: region base is the
+    VPN, the anchor is the PPN, and the bitmap is always ``0b1``.
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        lookup_latency: float,
+        max_ratio: int = 8,
+        decompression_latency: float = 1.0,
+        policy: Optional[IndexPolicy] = None,
+        stats: Optional[StatGroup] = None,
+        name: str = "contlb",
+        replacement: str = "lru",
+    ) -> None:
+        super().__init__(
+            num_entries, associativity, lookup_latency,
+            max_ratio=max_ratio,
+            decompression_latency=decompression_latency,
+            policy=policy, stats=stats, name=name, replacement=replacement,
+        )
+
+    def _split(self, vpn: int) -> Tuple[int, int]:
+        """``vpn -> (region_base_vpn, offset within region)``."""
+        offset = vpn % self.max_ratio
+        return vpn - offset, offset
+
+    # ------------------------------------------------------------------ #
+    # Storage hooks (entries are {region_base: (anchor_ppn, bitmap)})
+    # ------------------------------------------------------------------ #
+    def _probe_set(self, set_idx: int, vpn: int) -> Optional[int]:
+        base, offset = self._split(vpn)
+        entry_set = self.sets[set_idx]
+        entry = entry_set.get(base)
+        if entry is None or not (entry[1] >> offset) & 1:
+            return None
+        if self._refresh_lru:
+            entry_set.move_to_end(base)
+        return entry[0] + offset
+
+    def _peek_set(self, set_idx: int, vpn: int) -> bool:
+        base, offset = self._split(vpn)
+        entry = self.sets[set_idx].get(base)
+        return entry is not None and bool((entry[1] >> offset) & 1)
+
+    def _refresh(self, set_idx: int, vpn: int, ppn: int) -> bool:
+        """Fold ``vpn`` into its region's entry when the anchor agrees."""
+        base, offset = self._split(vpn)
+        entry_set = self.sets[set_idx]
+        entry = entry_set.get(base)
+        if entry is None:
+            return False
+        anchor, bitmap = entry
+        if anchor + offset != ppn:
+            # The frame moved (or never matched the anchor): the whole
+            # entry's contiguity assumption is stale — drop it and let
+            # the caller re-insert fresh, mirroring the stride format's
+            # remap handling.
+            del entry_set[base]
+            return False
+        bit = 1 << offset
+        if not bitmap & bit:
+            entry_set[base] = (anchor, bitmap | bit)
+            self._coalesced.inc()
+        if self._refresh_lru:
+            entry_set.move_to_end(base)
+        return True
+
+    def _insert_new(
+        self, set_idx: int, vpn: int, ppn: int
+    ) -> Optional[Tuple[int, Any]]:
+        base, offset = self._split(vpn)
+        entry_set = self.sets[set_idx]
+        evicted = None
+        if len(entry_set) >= self.associativity:
+            evicted = entry_set.popitem(last=False)
+            self._evictions.inc()
+        entry_set[base] = (ppn - offset, 1 << offset)
+        return evicted
+
+    def invalidate(self, vpn: int) -> bool:
+        base, offset = self._split(vpn)
+        bit = 1 << offset
+        found = False
+        for entry_set in self.sets:
+            entry = entry_set.get(base)
+            if entry is not None and entry[1] & bit:
+                remaining = entry[1] & ~bit
+                if remaining:
+                    entry_set[base] = (entry[0], remaining)
+                else:
+                    del entry_set[base]
+                found = True
+        return found
+
+    @property
+    def pages_covered(self) -> int:
+        return sum(
+            bin(bitmap).count("1")
+            for s in self.sets
+            for (_anchor, bitmap) in s.values()
         )

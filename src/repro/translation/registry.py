@@ -1,0 +1,368 @@
+"""Declarative translation-mechanism registry (the zoo's front door).
+
+A configuration *spec* is a comma-separated list of ``dimension=component``
+tokens, e.g.::
+
+    tlb=partitioned_sharing,repl=lru,compress=contiguity,pagesize=mosaic,sched=tlb_aware
+
+Each dimension names one pluggable axis of the translation machinery; a
+:class:`Component` carries the :class:`~repro.arch.config.GPUConfig`
+field overrides that select it.  :meth:`PolicyRegistry.resolve` starts
+from the paper baseline and applies every chosen component's overrides,
+so the empty spec (all defaults) resolves to a config *equal* to
+``BASELINE_CONFIG`` — the byte-identity gate ``repro check`` enforces.
+
+The ablation matrix for the experiments/report pipeline is *generated*
+from :data:`ZOO_SPECS` (name -> spec string); adding a mechanism means
+registering a component and adding one spec line, never hand-wiring a
+new experiment.
+
+Every user-facing mistake — malformed token, unknown dimension or
+component, duplicate assignment, a combination that cannot be wired —
+raises :class:`~repro.engine.errors.ConfigError` naming the offending
+token, so the CLI exits with the config exit code instead of a
+``KeyError`` deep in wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..engine.errors import ConfigError
+from .address import PAGE_2M
+from .uvm import AllocationPolicy
+
+
+@dataclass(frozen=True)
+class Component:
+    """One selectable mechanism on one dimension of the zoo."""
+
+    dimension: str
+    name: str
+    summary: str
+    #: GPUConfig field -> value applied when this component is chosen
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: component only makes sense under multi-tenant wiring (repro.tenancy)
+    requires_tenancy: bool = False
+
+    @property
+    def token(self) -> str:
+        return f"{self.dimension}={self.name}"
+
+
+class PolicyRegistry:
+    """Orderered dimension -> {component name -> Component} registry."""
+
+    def __init__(self) -> None:
+        self._dimensions: "Dict[str, Dict[str, Component]]" = {}
+        self._defaults: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, component: Component, default: bool = False) -> Component:
+        """Add a component; duplicate registration is a ConfigError."""
+        dim = self._dimensions.setdefault(component.dimension, {})
+        if component.name in dim:
+            raise ConfigError(
+                f"duplicate registration of component {component.token!r}",
+                field=component.dimension,
+            )
+        dim[component.name] = component
+        if default:
+            if component.dimension in self._defaults:
+                raise ConfigError(
+                    f"dimension {component.dimension!r} already has default "
+                    f"{self._defaults[component.dimension]!r}; cannot make "
+                    f"{component.token!r} the default too",
+                    field=component.dimension,
+                )
+            self._defaults[component.dimension] = component.name
+        return component
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def dimensions(self) -> Tuple[str, ...]:
+        return tuple(self._dimensions)
+
+    def components(self, dimension: str) -> Tuple[Component, ...]:
+        try:
+            return tuple(self._dimensions[dimension].values())
+        except KeyError:
+            raise ConfigError(
+                f"unknown dimension {dimension!r}; choose from "
+                f"{sorted(self._dimensions)}",
+                field=dimension,
+            ) from None
+
+    def default_spec(self) -> str:
+        """The fully-spelled-out all-defaults spec string."""
+        return ",".join(
+            f"{dim}={self._defaults[dim]}" for dim in self._dimensions
+        )
+
+    # ------------------------------------------------------------------ #
+    # Parsing and resolution
+    # ------------------------------------------------------------------ #
+    def parse(self, spec: str) -> Dict[str, str]:
+        """``spec -> {dimension: component name}`` with defaults filled in.
+
+        Raises :class:`ConfigError` naming the offending token for a
+        malformed token, unknown dimension/component, or a dimension
+        assigned twice.
+        """
+        chosen: Dict[str, str] = {}
+        for raw in spec.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            name, sep, value = token.partition("=")
+            name, value = name.strip(), value.strip()
+            if not sep or not name or not value:
+                raise ConfigError(
+                    f"malformed token {token!r}: expected "
+                    f"'dimension=component'",
+                    field=token,
+                )
+            if name not in self._dimensions:
+                raise ConfigError(
+                    f"unknown dimension in {token!r}; dimensions are "
+                    f"{sorted(self._dimensions)}",
+                    field=token,
+                )
+            if value not in self._dimensions[name]:
+                raise ConfigError(
+                    f"unknown component in {token!r}; {name!r} offers "
+                    f"{sorted(self._dimensions[name])}",
+                    field=token,
+                )
+            if name in chosen:
+                raise ConfigError(
+                    f"dimension {name!r} assigned twice "
+                    f"({name}={chosen[name]} then {token!r})",
+                    field=token,
+                )
+            chosen[name] = value
+        for dim, default in self._defaults.items():
+            chosen.setdefault(dim, default)
+        return chosen
+
+    def canonical(self, spec: str) -> str:
+        """Normalized spec with every dimension spelled out, in
+        registration order — one stable tag per mechanism combination."""
+        chosen = self.parse(spec)
+        return ",".join(f"{dim}={chosen[dim]}" for dim in self._dimensions)
+
+    def resolve(self, spec: str = "", tenancy: bool = False, base=None):
+        """Resolve a spec into a wired ``GPUConfig``.
+
+        The empty spec returns ``BASELINE_CONFIG`` itself (not a copy),
+        so the registry default is byte-identical to the hand-built
+        baseline by construction.  Cross-dimension conflicts surface
+        here with the offending token, before any wiring runs.
+        """
+        from ..arch.config import BASELINE_CONFIG
+
+        chosen = self.parse(spec)
+        components = [
+            self._dimensions[dim][name] for dim, name in chosen.items()
+        ]
+        for component in components:
+            if component.requires_tenancy and not tenancy:
+                raise ConfigError(
+                    f"{component.token!r} requires multi-tenant wiring "
+                    f"(repro run --tenants); it cannot resolve into a "
+                    f"single-tenant GPUConfig",
+                    field=component.token,
+                )
+        overrides: Dict[str, Any] = {}
+        claimed: Dict[str, Component] = {}
+        for component in components:
+            for fname, value in component.overrides.items():
+                if fname in overrides and overrides[fname] != value:
+                    raise ConfigError(
+                        f"{component.token!r} conflicts with "
+                        f"{claimed[fname].token!r}: both set {fname!r}",
+                        field=component.token,
+                    )
+                overrides[fname] = value
+                claimed[fname] = component
+        config = base if base is not None else BASELINE_CONFIG
+        if not overrides:
+            return config
+        try:
+            return config.replace(**overrides)
+        except ConfigError as exc:
+            # Re-raise with the responsible token: GPUConfig validation
+            # speaks in field names, the CLI user typed tokens.
+            component = claimed.get(exc.field)
+            token = component.token if component is not None else spec
+            raise ConfigError(
+                f"{token!r}: {exc}", field=token
+            ) from exc
+
+    def matrix(self, specs: Mapping[str, str]) -> "Dict[str, Any]":
+        """Resolve a ``{name: spec}`` mapping into ``{name: GPUConfig}``."""
+        return {name: self.resolve(spec) for name, spec in specs.items()}
+
+    def describe(self) -> List[str]:
+        """Human-readable listing for ``repro list``."""
+        lines: List[str] = []
+        for dim in self._dimensions:
+            default = self._defaults.get(dim)
+            for component in self._dimensions[dim].values():
+                marker = " (default)" if component.name == default else ""
+                suffix = " [tenancy]" if component.requires_tenancy else ""
+                lines.append(
+                    f"{component.token:<28s} {component.summary}"
+                    f"{marker}{suffix}"
+                )
+        return lines
+
+
+def _build_default_registry() -> PolicyRegistry:
+    # Imported here (not at module top) to keep the translation package
+    # importable without dragging in the full arch layer at import time.
+    from ..arch.config import (
+        CompressionKind,
+        L1TLBMode,
+        ReplacementKind,
+        TBSchedulerKind,
+    )
+
+    reg = PolicyRegistry()
+
+    # --- tlb: L1 TLB organization ------------------------------------- #
+    reg.register(Component(
+        "tlb", "shared", "VPN-indexed shared L1 TLB (paper baseline)",
+    ), default=True)
+    reg.register(Component(
+        "tlb", "partitioned", "TB-id-partitioned L1 TLB (paper §IV-B)",
+        overrides={"l1_tlb_mode": L1TLBMode.PARTITIONED},
+    ))
+    reg.register(Component(
+        "tlb", "partitioned_sharing",
+        "TB-id partitioning + dynamic adjacent-set sharing",
+        overrides={"l1_tlb_mode": L1TLBMode.PARTITIONED_SHARING},
+    ))
+    reg.register(Component(
+        "tlb", "subentry",
+        "sub-entry-sharing multi-tenant TLB (arXiv 2404.18361)",
+        requires_tenancy=True,
+    ))
+
+    # --- repl: within-set replacement ---------------------------------- #
+    reg.register(Component(
+        "repl", "lru", "least-recently-used replacement",
+    ), default=True)
+    reg.register(Component(
+        "repl", "fifo", "insertion-order (no-promote) replacement",
+        overrides={"l1_tlb_replacement": ReplacementKind.FIFO},
+    ))
+
+    # --- compress: large-reach entry format ----------------------------- #
+    reg.register(Component(
+        "compress", "none", "one translation per entry",
+    ), default=True)
+    reg.register(Component(
+        "compress", "stride",
+        "stride-range coalescing (PACT'20, Fig 12 comparator)",
+        overrides={
+            "l1_tlb_compression": True,
+            "compression_kind": CompressionKind.STRIDE,
+        },
+    ))
+    reg.register(Component(
+        "compress", "contiguity",
+        "subregion-contiguity bitmap entries (arXiv 2110.08613)",
+        overrides={
+            "l1_tlb_compression": True,
+            "compression_kind": CompressionKind.CONTIGUITY,
+            "compression_max_ratio": 8,
+        },
+    ))
+
+    # --- pagesize: page size / frame placement -------------------------- #
+    reg.register(Component(
+        "pagesize", "4k", "4 KB pages, contiguous first-touch frames",
+    ), default=True)
+    reg.register(Component(
+        "pagesize", "4k_frag",
+        "4 KB pages on a fragmented heap (scattered frames)",
+        overrides={"allocation_policy": AllocationPolicy.FRAGMENTED},
+    ))
+    reg.register(Component(
+        "pagesize", "2m", "2 MB huge pages (paper §V large-page study)",
+        overrides={"page_size": PAGE_2M},
+    ))
+    reg.register(Component(
+        "pagesize", "mosaic",
+        "Mosaic region-grouped 4 KB allocation (arXiv 1804.11265)",
+        overrides={"allocation_policy": AllocationPolicy.MOSAIC},
+    ))
+
+    # --- sched: TB scheduler -------------------------------------------- #
+    reg.register(Component(
+        "sched", "rr", "round-robin TB scheduling (baseline)",
+    ), default=True)
+    reg.register(Component(
+        "sched", "tlb_aware",
+        "TLB-thrashing-aware TB scheduling (paper §IV-A)",
+        overrides={"tb_scheduler": TBSchedulerKind.TLB_AWARE},
+    ))
+
+    # --- protect: miss protection --------------------------------------- #
+    reg.register(Component(
+        "protect", "none", "no fill filtering",
+    ), default=True)
+    reg.register(Component(
+        "protect", "deadentry",
+        "dead-entry fill prediction + bypass (arXiv 2606.00486)",
+        overrides={"l1_tlb_dead_entry": True},
+    ))
+
+    return reg
+
+
+#: built lazily: the component table needs repro.arch.config, which
+#: itself imports this package, so eager construction would be circular
+_default_registry: "PolicyRegistry | None" = None
+
+
+def default_registry() -> PolicyRegistry:
+    """The process-wide registry the CLI/experiments resolve against."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = _build_default_registry()
+    return _default_registry
+
+
+def __getattr__(name: str):
+    # PEP 562: DEFAULT_REGISTRY reads as a module attribute but is
+    # materialized on first use (see default_registry above).
+    if name == "DEFAULT_REGISTRY":
+        return default_registry()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+#: the generated ablation matrix: mechanism name -> registry spec.  The
+#: report/CI matrix iterates this mapping — never per-mechanism code.
+ZOO_SPECS: "Dict[str, str]" = {
+    "zoo_baseline": "",
+    "zoo_dead_entry": "protect=deadentry",
+    "zoo_contiguity": "compress=contiguity",
+    "zoo_frag": "pagesize=4k_frag,compress=contiguity",
+    "zoo_mosaic": "pagesize=mosaic,compress=contiguity",
+}
+
+
+def resolve_spec(spec: str, tenancy: bool = False):
+    """Module-level convenience over :func:`default_registry`."""
+    return default_registry().resolve(spec, tenancy=tenancy)
+
+
+def zoo_matrix() -> "Dict[str, Any]":
+    """The registry-generated mechanism matrix (name -> GPUConfig)."""
+    return default_registry().matrix(ZOO_SPECS)

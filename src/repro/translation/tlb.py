@@ -127,6 +127,7 @@ class SetAssociativeTLB:
         policy: Optional[IndexPolicy] = None,
         stats: Optional[StatGroup] = None,
         name: str = "tlb",
+        replacement: str = "lru",
     ) -> None:
         if num_entries <= 0 or associativity <= 0:
             raise ValueError("num_entries and associativity must be positive")
@@ -134,6 +135,8 @@ class SetAssociativeTLB:
             raise ValueError(
                 f"{num_entries} entries not divisible by associativity {associativity}"
             )
+        if replacement not in ("lru", "fifo"):
+            raise ValueError(f"unknown replacement {replacement!r}")
         self.name = name
         self.num_entries = num_entries
         self.associativity = associativity
@@ -151,10 +154,19 @@ class SetAssociativeTLB:
         self._tracer = None
         self._clock = None
         self._track = 0
+        self.replacement = replacement
+        # LRU promotes on touch; FIFO leaves insertion order alone, so
+        # every move_to_end below is gated on this flag
+        self._refresh_lru = replacement == "lru"
+        #: optional dead-entry miss-protection filter (see attach_dead_filter)
+        self.dead_filter: Optional["DeadEntryFilter"] = None
         # probe() may inline the per-set dict operations only when the
         # storage hooks are not overridden (the compressed TLB replaces
         # them); resolved once here instead of per probe
         self._plain_storage = type(self)._probe_set is SetAssociativeTLB._probe_set
+        # the inlined fast path hard-codes LRU promotion and no filter
+        # callbacks; FIFO and dead-entry runs take the general loop
+        self._fast_probe = self._plain_storage and self._refresh_lru
         self._lookup_sets = self.policy.lookup_sets
 
     # ------------------------------------------------------------------ #
@@ -176,13 +188,25 @@ class SetAssociativeTLB:
         self._track = track
 
     # ------------------------------------------------------------------ #
+    # Dead-entry miss protection
+    # ------------------------------------------------------------------ #
+    def attach_dead_filter(self, filt: "DeadEntryFilter") -> None:
+        """Attach a dead-entry predictor; probes then notify it on hits.
+
+        Attaching disables the inlined probe fast path so every hit is
+        observed — the storage itself is unchanged.
+        """
+        self.dead_filter = filt
+        self._fast_probe = False
+
+    # ------------------------------------------------------------------ #
     # Per-set storage hooks (overridden by the compressed TLB)
     # ------------------------------------------------------------------ #
     def _probe_set(self, set_idx: int, vpn: int) -> Optional[int]:
         """Probe one set; on hit refresh LRU and return the PPN."""
         entry_set = self.sets[set_idx]
         ppn = entry_set.get(vpn)
-        if ppn is not None:
+        if ppn is not None and self._refresh_lru:
             entry_set.move_to_end(vpn)
         return ppn
 
@@ -191,7 +215,8 @@ class SetAssociativeTLB:
         entry_set = self.sets[set_idx]
         if vpn in entry_set:
             entry_set[vpn] = ppn
-            entry_set.move_to_end(vpn)
+            if self._refresh_lru:
+                entry_set.move_to_end(vpn)
             return True
         return False
 
@@ -234,7 +259,7 @@ class SetAssociativeTLB:
         """Probe for ``vpn``; updates LRU and hit/miss statistics."""
         probed = 0
         tracer = self._tracer
-        if tracer is None and self._plain_storage:
+        if tracer is None and self._fast_probe:
             # hottest loop in the model: _probe_set inlined (safe — the
             # hooks are at their base implementations, checked at init)
             sets = self.sets
@@ -260,6 +285,8 @@ class SetAssociativeTLB:
                 # probe and this is the hottest loop in the model
                 self._hits.value += 1
                 self._sets_probed.value += probed
+                if self.dead_filter is not None:
+                    self.dead_filter.on_hit(vpn)
                 if tracer is not None:
                     tracer.instant(
                         CAT_TLB, "hit", self._clock(), self._track,
@@ -304,10 +331,21 @@ class SetAssociativeTLB:
         for set_idx in candidates:
             if self._refresh(set_idx, vpn, ppn):
                 return None
+        df = self.dead_filter
+        if df is not None and df.should_bypass(vpn):
+            # predicted dead: skip the fill entirely so a live entry is
+            # never displaced for it (arXiv 2606.00486)
+            return None
         evicted = self._insert_new(candidates[0], vpn, ppn)
+        if df is not None:
+            df.on_fill(vpn)
         if evicted is None:
             return None
         spilled_to = self._handle_eviction(evicted, tb_id)
+        if df is not None and spilled_to is None:
+            # spilled entries stay resident, so only a true drop can
+            # prove the victim's fill was dead
+            df.on_evict(evicted[0])
         tracer = self._tracer
         if tracer is not None:
             tracer.instant(
@@ -323,11 +361,16 @@ class SetAssociativeTLB:
             if vpn in entry_set:
                 del entry_set[vpn]
                 found = True
+        if found and self.dead_filter is not None:
+            # a shootdown is not evidence of deadness — forget the fill
+            self.dead_filter.on_invalidate(vpn)
         return found
 
     def flush(self) -> None:
         for entry_set in self.sets:
             entry_set.clear()
+        if self.dead_filter is not None:
+            self.dead_filter.on_flush()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -389,12 +432,13 @@ class SubEntrySharedTLB(SetAssociativeTLB):
         policy: Optional[IndexPolicy] = None,
         stats: Optional[StatGroup] = None,
         name: str = "tlb",
+        replacement: str = "lru",
     ) -> None:
         if policy is None:
             policy = MaskedVPNIndexPolicy(num_entries // associativity, tag_shift)
         super().__init__(
             num_entries, associativity, lookup_latency,
-            policy=policy, stats=stats, name=name,
+            policy=policy, stats=stats, name=name, replacement=replacement,
         )
         self.tag_shift = tag_shift
         self._base_mask = (1 << tag_shift) - 1
@@ -416,7 +460,8 @@ class SubEntrySharedTLB(SetAssociativeTLB):
         sub = entry_set.get(base)
         if sub is None:
             return None
-        entry_set.move_to_end(base)
+        if self._refresh_lru:
+            entry_set.move_to_end(base)
         ppn = sub.get(asid)
         if ppn is None:
             self._tag_hit_sub_miss.inc()
@@ -432,7 +477,8 @@ class SubEntrySharedTLB(SetAssociativeTLB):
         if asid not in sub:
             self._sub_entry_fills.inc()
         sub[asid] = ppn
-        entry_set.move_to_end(base)
+        if self._refresh_lru:
+            entry_set.move_to_end(base)
         return True
 
     def _insert_new(
@@ -479,3 +525,79 @@ class SubEntrySharedTLB(SetAssociativeTLB):
     def sub_occupancy(self) -> int:
         """Total sub-entries across all sets (>= entry occupancy)."""
         return sum(len(sub) for s in self.sets for sub in s.values())
+
+
+class DeadEntryFilter:
+    """Dead-entry miss protection for a TLB (arXiv 2606.00486).
+
+    A fill whose entry is evicted before it is ever re-referenced was
+    *dead on arrival*: it spent a slot (and possibly displaced a live
+    translation) for nothing.  The filter tracks, per VPN, the streak of
+    consecutive dead fills; once the streak reaches ``threshold``, later
+    fills of that VPN are *bypassed* — the translation is still returned
+    to the requester (the walk result is in hand), it just never
+    occupies a slot.  A probe hit resets the VPN's streak, an
+    invalidation (TLB shootdown) forgets the outstanding fill without
+    judging it, and a flush forgets every outstanding fill.
+
+    ``threshold=None`` is an infinite threshold: the predictor observes
+    (``dead_fills`` still counts) but never bypasses — byte-identical to
+    running without the filter, which is the metamorphic identity gate.
+    """
+
+    def __init__(
+        self,
+        threshold: Optional[int] = 2,
+        stats: Optional[StatGroup] = None,
+        name: str = "dead_filter",
+    ) -> None:
+        if threshold is not None and threshold <= 0:
+            raise ValueError(f"threshold must be positive or None, got {threshold}")
+        self.threshold = threshold
+        self.stats = stats if stats is not None else StatGroup(name)
+        self._dead_fills = self.stats.counter("dead_fills")
+        self._bypassed_fills = self.stats.counter("bypassed_fills")
+        #: VPNs filled but not yet re-referenced (the in-flight verdicts)
+        self._pending: set = set()
+        #: VPN -> consecutive dead fills since its last hit
+        self._streak: dict = {}
+
+    def should_bypass(self, vpn: int) -> bool:
+        """Decide (and count) whether a fill of ``vpn`` is bypassed."""
+        if self.threshold is None:
+            return False
+        if self._streak.get(vpn, 0) >= self.threshold:
+            self._bypassed_fills.inc()
+            return True
+        return False
+
+    def on_fill(self, vpn: int) -> None:
+        self._pending.add(vpn)
+
+    def on_hit(self, vpn: int) -> None:
+        if vpn in self._pending:
+            self._pending.discard(vpn)
+            self._streak.pop(vpn, None)
+
+    def on_evict(self, vpn: int) -> None:
+        if vpn in self._pending:
+            self._pending.discard(vpn)
+            self._streak[vpn] = self._streak.get(vpn, 0) + 1
+            self._dead_fills.inc()
+
+    def on_invalidate(self, vpn: int) -> None:
+        self._pending.discard(vpn)
+
+    def on_flush(self) -> None:
+        self._pending.clear()
+
+    @property
+    def dead_fills(self) -> int:
+        return self._dead_fills.value
+
+    @property
+    def bypassed_fills(self) -> int:
+        return self._bypassed_fills.value
+
+    def streak(self, vpn: int) -> int:
+        return self._streak.get(vpn, 0)

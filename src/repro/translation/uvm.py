@@ -28,8 +28,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
-from .address import PAGE_4K, PageGeometry
+from .address import PAGE_2M, PAGE_4K, PageGeometry
 from .page_table import PageTable
+from .pagesize import MosaicAllocator
 
 
 class AllocationPolicy(enum.Enum):
@@ -40,6 +41,10 @@ class AllocationPolicy(enum.Enum):
     CONTIGUOUS = "contiguous"
     #: Frames are scattered pseudo-randomly — models a fragmented heap.
     FRAGMENTED = "fragmented"
+    #: Mosaic (arXiv 1804.11265): base pages grouped into 2 MB-aligned
+    #: regions with offsets preserved, so contiguity survives a long-
+    #: running heap and fragmentation is tracked per region.
+    MOSAIC = "mosaic"
 
 
 @dataclass
@@ -68,6 +73,7 @@ class UVMManager:
         frame_scramble_seed: int = 0x5BD1E995,
         gpu_memory_bytes: Optional[int] = None,
         invalidate_hook: Optional[Callable[[int], None]] = None,
+        stats=None,
     ) -> None:
         self.geometry = geometry
         self.page_table = page_table if page_table is not None else PageTable(geometry)
@@ -86,6 +92,16 @@ class UVMManager:
             else gpu_memory_bytes // geometry.page_size
         )
         self.invalidate_hook = invalidate_hook
+        if policy is AllocationPolicy.MOSAIC:
+            if geometry.page_size >= PAGE_2M:
+                raise ValueError(
+                    "mosaic allocation needs a base page smaller than 2 MB"
+                )
+            self.mosaic: Optional[MosaicAllocator] = MosaicAllocator(
+                PAGE_2M // geometry.page_size, stats=stats
+            )
+        else:
+            self.mosaic = None
 
     # ------------------------------------------------------------------ #
     # Allocation
@@ -98,6 +114,8 @@ class UVMManager:
             # out-of-order touches keep a stable VPN-anchored layout so
             # virtually adjacent pages are physically adjacent.
             return vpn
+        if self.mosaic is not None:
+            return self.mosaic.allocate(vpn)
         # Fragmented: a multiplicative hash scatters frames while staying
         # deterministic for reproducibility.
         return ((vpn * self._seed) ^ (vpn >> 7)) & ((1 << 40) - 1)
@@ -126,6 +144,8 @@ class UVMManager:
             victim, _ppn = self._resident.popitem(last=False)
             self.page_table.unmap(victim)
             self._eviction_count += 1
+            if self.mosaic is not None:
+                self.mosaic.release(victim)
             if self.invalidate_hook is not None:
                 # TLB shootdown: stale translations must not survive the
                 # page's migration back to the host.
@@ -158,3 +178,9 @@ class UVMManager:
     @property
     def footprint_bytes(self) -> int:
         return len(self._resident) * self.geometry.page_size
+
+    def fragmentation_report(self):
+        """Mosaic internal-fragmentation snapshot (None unless mosaic)."""
+        if self.mosaic is None:
+            return None
+        return self.mosaic.fragmentation(self.geometry.page_size)

@@ -52,5 +52,7 @@ def test_oversubscription_structure(runner):
     assert result.slowdown["nw"] > 0
     assert result.fault_rate["nw"] > 0
     assert result.ours_speedup["nw"] > 0
+    assert result.mosaic_speedup["nw"] > 0
+    assert 0 < result.mosaic_utilization["nw"] <= 1
     assert result.format_table()
-    assert len(result.shape_checks()) == 2
+    assert len(result.shape_checks()) == 3

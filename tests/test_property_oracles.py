@@ -293,3 +293,345 @@ def test_tbid_policy_rejects_missing_or_negative_tb():
         policy.insert_sets(0, -3)
     with pytest.raises(ValueError):
         policy.sets_for(-1)
+
+
+# --------------------------------------------------------------------- #
+# Dead-entry filter vs omniscient reuse oracle (ISSUE 10)
+# --------------------------------------------------------------------- #
+def run_dead_filter_ops(num_sets, assoc, threshold, ops):
+    """Drive a dead-filtered TLB and a from-the-spec reuse oracle.
+
+    The oracle tracks, per VPN, the consecutive count of fills that died
+    (were dropped from the TLB) without a single hit; once the streak
+    reaches ``threshold`` the next fill must be bypassed.  ``None``
+    means never bypass — the filter must then be pure observation.
+    """
+    from repro.translation.tlb import DeadEntryFilter
+
+    tlb = SetAssociativeTLB(num_sets * assoc, assoc, lookup_latency=1.0)
+    tlb.attach_dead_filter(DeadEntryFilter(threshold))
+    oracle = [[] for _ in range(num_sets)]  # [[vpn, ppn], ...] LRU-first
+    pending = set()   # fills not yet proven live
+    streak = {}       # vpn -> consecutive dead fills
+    hits = misses = evictions = dead = bypassed = 0
+    for kind, vpn in ops:
+        entries = oracle[vpn % num_sets]
+        found = next((e for e in entries if e[0] == vpn), None)
+        if kind == "probe":
+            result = tlb.probe(vpn)
+            if found is not None:
+                hits += 1
+                assert result.hit and result.ppn == found[1]
+                entries.remove(found)
+                entries.append(found)
+                if vpn in pending:  # reuse observed: the fill was live
+                    pending.discard(vpn)
+                    streak.pop(vpn, None)
+            else:
+                misses += 1
+                assert not result.hit
+        else:
+            ppn = vpn * 7 + 3
+            evicted = tlb.insert(vpn, ppn)
+            if found is not None:  # refresh path: no fill event
+                found[1] = ppn
+                entries.remove(found)
+                entries.append(found)
+                assert evicted is None
+                continue
+            if threshold is not None and streak.get(vpn, 0) >= threshold:
+                bypassed += 1  # predicted dead: no state may change
+                assert evicted is None
+                continue
+            if len(entries) >= assoc:
+                victim = entries.pop(0)
+                evictions += 1
+                assert evicted == victim[0]
+                if victim[0] in pending:  # died without a hit
+                    pending.discard(victim[0])
+                    streak[victim[0]] = streak.get(victim[0], 0) + 1
+                    dead += 1
+            else:
+                assert evicted is None
+            entries.append([vpn, ppn])
+            pending.add(vpn)
+    filt = tlb.dead_filter
+    assert tlb.stats.counter("hits").value == hits
+    assert tlb.stats.counter("misses").value == misses
+    assert tlb.stats.counter("evictions").value == evictions
+    assert filt.dead_fills == dead
+    assert filt.bypassed_fills == bypassed
+    if threshold is None:
+        assert bypassed == 0  # threshold=∞ must degenerate to no-bypass
+    assert filt._pending == pending
+    assert filt._streak == {v: s for v, s in streak.items() if s > 0}
+    for set_idx in range(num_sets):
+        stored = [[vpn, ppn] for vpn, ppn in tlb.sets[set_idx].items()]
+        assert stored == oracle[set_idx], f"set {set_idx} diverged"
+
+
+DEAD_THRESHOLDS = [1, 2, 3, None]
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from(DEAD_THRESHOLDS),
+        tlb_ops,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dead_filter_matches_reuse_oracle(num_sets, assoc, threshold, ops):
+        run_dead_filter_ops(num_sets, assoc, threshold, ops)
+
+else:  # pragma: no cover
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_dead_filter_matches_reuse_oracle(seed):
+        rng = random.Random(seed)
+        run_dead_filter_ops(
+            rng.choice([1, 2, 4]),
+            rng.choice([1, 2, 4]),
+            rng.choice(DEAD_THRESHOLDS),
+            _random_tlb_ops(rng),
+        )
+
+
+def test_dead_filter_threshold_none_is_pure_observation():
+    """threshold=None: filtered TLB behaves bit-for-bit like a stock one."""
+    from repro.translation.tlb import DeadEntryFilter
+
+    rng = random.Random(7)
+    stock = SetAssociativeTLB(16, 4, lookup_latency=1.0)
+    filtered = SetAssociativeTLB(16, 4, lookup_latency=1.0)
+    filtered.attach_dead_filter(DeadEntryFilter(None))
+    for _ in range(5000):
+        vpn = rng.randrange(0, 96)
+        if rng.random() < 0.5:
+            a, b = stock.probe(vpn), filtered.probe(vpn)
+            assert (a.hit, a.ppn) == (b.hit, b.ppn)
+        else:
+            assert stock.insert(vpn, vpn + 1) == filtered.insert(vpn, vpn + 1)
+    assert stock.hits == filtered.hits
+    assert stock.misses == filtered.misses
+    assert [dict(s) for s in stock.sets] == [dict(s) for s in filtered.sets]
+    assert filtered.dead_filter.bypassed_fills == 0
+
+
+# --------------------------------------------------------------------- #
+# Contiguity TLB vs per-page dict model, at every run length (ISSUE 10)
+# --------------------------------------------------------------------- #
+def run_contiguity_ops(num_sets, assoc, max_ratio, ops):
+    """Drive ContiguityTLB and a naive region-entry model in lockstep.
+
+    Ops: ``("probe", vpn, _)`` / ``("insert", vpn, contiguous)`` where
+    ``contiguous`` picks an offset-preserving frame (coalescible into
+    the region anchor) or a scattered one (forces re-anchoring).
+    """
+    from repro.translation.compression import ContiguityTLB
+
+    tlb = ContiguityTLB(
+        num_sets * assoc, assoc, lookup_latency=1.0,
+        max_ratio=max_ratio, decompression_latency=0.0,
+    )
+    # each set: [[region_base, anchor_ppn, bitmap], ...] LRU-first
+    oracle = [[] for _ in range(num_sets)]
+    hits = misses = evictions = coalesced = 0
+
+    def index(vpn):
+        return (vpn // max_ratio) % num_sets
+
+    for kind, vpn, contiguous in ops:
+        base, offset = vpn - vpn % max_ratio, vpn % max_ratio
+        entries = oracle[index(vpn)]
+        found = next((e for e in entries if e[0] == base), None)
+        if kind == "probe":
+            result = tlb.probe(vpn)
+            if found is not None and (found[2] >> offset) & 1:
+                hits += 1
+                assert result.hit and result.ppn == found[1] + offset
+                entries.remove(found)
+                entries.append(found)
+            else:
+                misses += 1
+                assert not result.hit
+        else:
+            ppn = (vpn + 1000) if contiguous else (vpn * 11 + 5)
+            evicted = tlb.insert(vpn, ppn)
+            if found is not None:
+                if found[1] + offset == ppn:
+                    if not (found[2] >> offset) & 1:
+                        found[2] |= 1 << offset
+                        coalesced += 1
+                    entries.remove(found)
+                    entries.append(found)
+                    assert evicted is None
+                    continue
+                # mis-anchored frame: the stale entry is dropped and the
+                # fill re-anchors fresh (never evicting — a slot just freed)
+                entries.remove(found)
+                entries.append([base, ppn - offset, 1 << offset])
+                assert evicted is None
+                continue
+            if len(entries) >= assoc:
+                victim = entries.pop(0)
+                evictions += 1
+                assert evicted == victim[0]
+            else:
+                assert evicted is None
+            entries.append([base, ppn - offset, 1 << offset])
+    assert tlb.stats.counter("hits").value == hits
+    assert tlb.stats.counter("misses").value == misses
+    assert tlb.stats.counter("evictions").value == evictions
+    assert tlb.stats.counter("coalesced").value == coalesced
+    assert tlb.pages_covered == sum(
+        bin(e[2]).count("1") for s in oracle for e in s
+    )
+    for set_idx in range(num_sets):
+        stored = [
+            [b, anchor, bitmap]
+            for b, (anchor, bitmap) in tlb.sets[set_idx].items()
+        ]
+        assert stored == oracle[set_idx], f"set {set_idx} diverged"
+
+
+def _random_contiguity_ops(rng: random.Random, n: int = 250):
+    return [
+        (
+            ("probe", "insert")[rng.randrange(2)],
+            rng.randrange(0, 64),
+            rng.random() < 0.8,
+        )
+        for _ in range(n)
+    ]
+
+
+CONTIGUITY_RUNS = [1, 2, 3, 4, 8]
+
+if HAVE_HYPOTHESIS:
+    contiguity_ops = st.lists(
+        st.tuples(
+            st.sampled_from(["probe", "insert"]),
+            st.integers(min_value=0, max_value=63),
+            st.booleans(),
+        ),
+        max_size=250,
+    )
+
+    @given(
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from(CONTIGUITY_RUNS),
+        contiguity_ops,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contiguity_matches_dict_model(num_sets, assoc, max_ratio, ops):
+        run_contiguity_ops(num_sets, assoc, max_ratio, ops)
+
+else:  # pragma: no cover
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    @pytest.mark.parametrize("max_ratio", CONTIGUITY_RUNS)
+    def test_contiguity_matches_dict_model(seed, max_ratio):
+        rng = random.Random(seed)
+        run_contiguity_ops(
+            rng.choice([1, 2, 4]),
+            rng.choice([1, 2, 4]),
+            max_ratio,
+            _random_contiguity_ops(rng),
+        )
+
+
+def test_contiguity_run_of_one_degenerates_to_stock():
+    """max_ratio=1: every region is a single page, so the contiguity TLB
+    must be observation-equivalent to the stock set-associative TLB."""
+    from repro.translation.compression import ContiguityTLB
+
+    rng = random.Random(11)
+    stock = SetAssociativeTLB(32, 4, lookup_latency=1.0)
+    contig = ContiguityTLB(
+        32, 4, lookup_latency=1.0, max_ratio=1, decompression_latency=0.0
+    )
+    for _ in range(8000):
+        vpn = rng.randrange(0, 128)
+        r = rng.random()
+        if r < 0.48:
+            a, b = stock.probe(vpn), contig.probe(vpn)
+            assert (a.hit, a.ppn) == (b.hit, b.ppn)
+        elif r < 0.96:
+            ppn = vpn * 13 + 1 if r < 0.9 else vpn * 17 + 2  # incl. remaps
+            assert stock.insert(vpn, ppn) == contig.insert(vpn, ppn)
+        else:
+            assert stock.invalidate(vpn) == contig.invalidate(vpn)
+    assert stock.hits == contig.hits
+    assert stock.misses == contig.misses
+    assert stock.stats.counter("evictions").value == \
+        contig.stats.counter("evictions").value
+    assert [list(s) for s in stock.sets] == [list(s) for s in contig.sets]
+    assert contig.pages_covered == stock.occupancy
+
+
+# --------------------------------------------------------------------- #
+# Mosaic allocation vs fragmentation-free reference (ISSUE 10)
+# --------------------------------------------------------------------- #
+def run_mosaic_ops(touches, capacity_pages=64):
+    """Touch the same VPN stream through a Mosaic UVM and a CONTIGUOUS
+    reference.  Placement is the *only* thing allowed to differ: faults,
+    evictions, and the resident set must match in lockstep, and mosaic
+    frames must be injective and offset-preserving within regions."""
+    from repro.translation.address import PAGE_2M, PAGE_4K, PageGeometry
+    from repro.translation.uvm import AllocationPolicy, UVMManager
+
+    geometry = PageGeometry(PAGE_4K)
+    ppr = PAGE_2M // PAGE_4K
+    cap = capacity_pages * PAGE_4K
+    mosaic = UVMManager(
+        geometry=geometry, policy=AllocationPolicy.MOSAIC,
+        far_fault_latency=100.0, gpu_memory_bytes=cap,
+    )
+    reference = UVMManager(
+        geometry=geometry, policy=AllocationPolicy.CONTIGUOUS,
+        far_fault_latency=100.0, gpu_memory_bytes=cap,
+    )
+    placements = {}
+    for vpn in touches:
+        ppn_m, lat_m = mosaic.ensure_mapped(vpn)
+        ppn_r, lat_r = reference.ensure_mapped(vpn)
+        assert lat_m == lat_r, "fault behaviour diverged from reference"
+        assert ppn_m % ppr == vpn % ppr, "mosaic broke region offsets"
+        placements[vpn] = ppn_m
+        assert mosaic.fault_count == reference.fault_count
+        assert mosaic.eviction_count == reference.eviction_count
+        assert mosaic.resident_pages == reference.resident_pages
+    resident = {v for v in placements if mosaic.is_resident(v)}
+    assert resident == {v for v in placements if reference.is_resident(v)}
+    live = {v: mosaic.ensure_mapped(v)[0] for v in sorted(resident)}
+    assert len(set(live.values())) == len(live), "mosaic frames collided"
+    regions = {}
+    for vpn, ppn in live.items():
+        # all pages of one virtual region sit in one physical region
+        assert regions.setdefault(vpn // ppr, ppn // ppr) == ppn // ppr
+    report = mosaic.fragmentation_report()
+    assert report.huge_pages_committed == len(set(regions.values()))
+    assert 0.0 < report.utilization <= 1.0
+
+
+def _random_touches(rng: random.Random, n: int = 400):
+    # a few regions' worth of VPNs, with enough pressure to force
+    # eviction churn (capacity 64 pages vs up to 3*512 VPNs)
+    return [rng.randrange(0, 3 * 512) for _ in range(n)]
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(st.lists(st.integers(min_value=0, max_value=3 * 512 - 1),
+                    min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_mosaic_matches_contiguous_reference(touches):
+        run_mosaic_ops(touches)
+
+else:  # pragma: no cover
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_mosaic_matches_contiguous_reference(seed):
+        run_mosaic_ops(_random_touches(random.Random(seed)))

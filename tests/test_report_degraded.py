@@ -49,7 +49,7 @@ class TestFullReportDegradation:
             strict=False,
         )
         # every experiment produced a section despite the dead benchmark
-        assert len(reports) == 18
+        assert len(reports) == 19
         assert all(r.table for r in reports)
         rendered = report.render_markdown(reports, "micro", runner)
         assert "FAILED(livelock)" in rendered

@@ -112,7 +112,8 @@ class TestCleanRuns:
 
     @pytest.mark.parametrize(
         "config",
-        ["baseline", "sched", "partition", "partition_sharing", "comp_ours"],
+        ["baseline", "sched", "partition", "partition_sharing", "comp_ours",
+         "dead_entry", "contiguity", "mosaic"],
     )
     def test_zero_violations(self, config, monkeypatch):
         monkeypatch.delenv(SANITIZE_INJECT_ENV, raising=False)
@@ -156,6 +157,8 @@ E2E_TAGS = [
     ("tb.leak", "baseline", None),
     ("warp.issue_after_retire", "baseline", None),
     ("sched.status_range", "sched", None),
+    ("tlb.dead_bypass_live", "dead_entry", None),
+    ("alloc.mosaic_overlap", "mosaic", None),
 ]
 
 
